@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md), asserts its *shape* conclusions, and
+writes the rendered table to ``benchmarks/results/<name>.txt`` — those
+files are the source of EXPERIMENTS.md.
+
+Scale: benchmarks default to the QUICK sweep (seconds).  Set
+``REPRO_BENCH_SCALE=paper`` to run the paper's full 33-runs-by-300-rounds
+protocol (minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import PAPER, PAPER_LAN, QUICK, QUICK_LAN
+from repro.experiments.figures import run_wan_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+
+@pytest.fixture(scope="session")
+def wan_config():
+    return PAPER if bench_scale() == "paper" else QUICK
+
+
+@pytest.fixture(scope="session")
+def lan_config():
+    return PAPER_LAN if bench_scale() == "paper" else QUICK_LAN
+
+
+@pytest.fixture(scope="session")
+def wan_sweep(wan_config):
+    """One shared WAN sweep for the measured figures (1d-1i)."""
+    return run_wan_sweep(wan_config)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """``save_result(name, text)``: record a rendered table."""
+
+    def save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return save

@@ -1,0 +1,71 @@
+"""Ablation: how much does choosing a *good* leader matter?
+
+Section 5.2/5.3 attribute the leader models' measured advantage over the
+IID prediction to leader choice ("In practice, for leader-based
+algorithms, choosing a good leader helps"; the UK node was picked by ping
+measurements).  This ablation measures P_WLM and P_LM on the synthetic
+PlanetLab for every possible leader and compares the ping-elected choice
+against the field.
+"""
+
+import numpy as np
+
+from repro.experiments.measurement import (
+    model_satisfaction,
+    sample_wan_trace,
+    timely_matrices,
+)
+from repro.net import measure_latency_table, planetlab_profile, select_leader
+from repro.net.planetlab import PLANETLAB_SITES
+
+TIMEOUT = 0.17
+RUNS = 8
+ROUNDS = 200
+
+
+def measure_all_leaders():
+    per_leader = {model: np.zeros(8) for model in ("WLM", "LM")}
+    for run in range(RUNS):
+        trace = sample_wan_trace(ROUNDS, TIMEOUT, seed=5_000 + run)
+        matrices = timely_matrices(trace, TIMEOUT)
+        for leader in range(8):
+            for model in ("WLM", "LM"):
+                per_leader[model][leader] += model_satisfaction(
+                    matrices, model, leader=leader
+                )
+    for model in per_leader:
+        per_leader[model] /= RUNS
+    elected = select_leader(
+        measure_latency_table(planetlab_profile(seed=9_999), pings=20)
+    )
+    return per_leader, elected
+
+
+def test_leader_quality_ablation(benchmark, save_result):
+    per_leader, elected = benchmark.pedantic(
+        measure_all_leaders, rounds=1, iterations=1
+    )
+
+    lines = [
+        f"P_M at a {TIMEOUT*1000:.0f} ms timeout, per designated leader",
+        f"{'site':<14}{'P_WLM':>8}{'P_LM':>8}",
+    ]
+    for pid, site in enumerate(PLANETLAB_SITES):
+        marker = "  <-- ping-elected" if pid == elected else ""
+        lines.append(
+            f"{site:<14}{per_leader['WLM'][pid]:>8.3f}"
+            f"{per_leader['LM'][pid]:>8.3f}{marker}"
+        )
+    save_result("ablation_leader_quality", "\n".join(lines))
+
+    wlm = per_leader["WLM"]
+    # The ping-elected leader is at (or within noise of) the top.
+    assert wlm[elected] >= np.max(wlm) - 0.02
+    # Leader choice matters a lot: best leader at least 2x the worst.
+    assert np.max(wlm) > 2 * np.min(wlm)
+    # The Asian nodes (congested China egress; long Japan links) make the
+    # worst leaders.
+    worst = int(np.argmin(wlm))
+    assert PLANETLAB_SITES[worst] in ("China", "Japan")
+    # WLM with any leader is no harder than LM with that leader.
+    assert (wlm >= per_leader["LM"] - 1e-9).all()

@@ -1,0 +1,65 @@
+"""Table B (Theorem 10): Algorithm 2's decision-round bounds, measured.
+
+Global decision by GSR+4 always; by GSR+3 when the oracle's property
+holds from GSR-1 (the stable-leader case).  Measured over a sweep of GSR
+placements and chaos seeds.
+"""
+
+import numpy as np
+
+from repro.core import WlmConsensus
+from repro.giraf import (
+    EventuallyStableLeaderOracle,
+    IIDSchedule,
+    LockstepRunner,
+    StableAfterSchedule,
+)
+
+
+def measure_bounds(n=5, gsrs=(2, 4, 6, 9, 13), seeds=range(8)):
+    """Returns {(early_leader): list of (decision_round - gsr)}."""
+    margins = {False: [], True: []}
+    for early in (False, True):
+        for gsr in gsrs:
+            for seed in seeds:
+                schedule = StableAfterSchedule(
+                    IIDSchedule(n, p=0.4, seed=seed),
+                    gsr=gsr,
+                    model="WLM",
+                    leader=0,
+                    seed=seed + 1,
+                )
+                oracle = EventuallyStableLeaderOracle(
+                    leader=0,
+                    stable_from=gsr - 1 if early else gsr,
+                    n=n,
+                    seed=seed + 2,
+                )
+                runner = LockstepRunner(
+                    n,
+                    lambda pid: WlmConsensus(pid, n, (pid + 1) * 10),
+                    oracle,
+                    schedule,
+                )
+                result = runner.run(max_rounds=gsr + 20)
+                assert result.all_correct_decided
+                margins[early].append(result.global_decision_round - gsr)
+    return margins
+
+
+def test_decision_bounds(benchmark, save_result):
+    margins = benchmark.pedantic(measure_bounds, rounds=1, iterations=1)
+
+    worst_standard = max(margins[False])
+    worst_early = max(margins[True])
+    lines = [
+        "Algorithm 2 decision-round margins over GSR (40 runs each)",
+        f"oracle stable from GSR   : worst GSR+{worst_standard}, "
+        f"mean GSR+{np.mean(margins[False]):.2f}  (Theorem 10(a): <= GSR+4)",
+        f"oracle stable from GSR-1 : worst GSR+{worst_early}, "
+        f"mean GSR+{np.mean(margins[True]):.2f}  (Theorem 10(b): <= GSR+3)",
+    ]
+    save_result("tabB_decision_bounds", "\n".join(lines))
+
+    assert worst_standard <= 4
+    assert worst_early <= 3

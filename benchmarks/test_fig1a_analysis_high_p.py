@@ -1,0 +1,35 @@
+"""Figure 1(a): expected decision rounds versus p, at very high p (n=8).
+
+Paper shape: even with a very high probability of timely delivery, ES
+deteriorates drastically as p decreases, while ◊AFM, ◊LM and the direct
+◊WLM algorithm maintain excellent performance; the direct ◊WLM algorithm
+pays practically nothing for its linear message complexity; the simulated
+algorithm is worse than the direct one.
+"""
+
+from repro.experiments import figure_1a, render_series
+
+
+def test_fig1a(benchmark, save_result):
+    result = benchmark.pedantic(figure_1a, rounds=3, iterations=1)
+    save_result("fig1a_analysis_high_p", render_series(result, max_rows=15))
+
+    es = result.series["ES"]
+    wlm = result.series["WLM"]
+    wlm_sim = result.series["WLM_SIM"]
+    lm = result.series["LM"]
+    afm = result.series["AFM"]
+
+    # ES deteriorates drastically; the rest stay flat and small.
+    assert es[0] > 15
+    assert es[-1] == 3.0
+    for series in (afm, lm, wlm):
+        assert max(series) < 10
+
+    # Direct WLM ~ LM (no practical penalty for linear messages): within
+    # 1.5 rounds across the panel.
+    assert all(abs(w - l) < 1.5 for w, l in zip(wlm, lm))
+
+    # Simulated WLM strictly worse than direct (except at p = 1).
+    assert all(s >= w for s, w in zip(wlm_sim, wlm))
+    assert wlm_sim[0] > wlm[0] + 1.0

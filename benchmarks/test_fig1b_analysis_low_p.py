@@ -1,0 +1,49 @@
+"""Figure 1(b): expected decision rounds for p in [0.9, 1), n=8 (ES off
+the chart, as in the paper).
+
+Paper landmarks: ES needs 349 rounds at p=0.97 (hence omitted); direct
+◊WLM needs 18 rounds at p=0.92 versus 114 simulated; ◊AFM wins at low p
+(10 versus ◊LM's 69 at p=0.85); ◊LM overtakes ◊AFM from p=0.96 and direct
+◊WLM from p=0.97.
+"""
+
+import pytest
+
+from repro.analysis import expected_decision_rounds, find_crossover
+from repro.experiments import figure_1b, render_series
+from repro.experiments.report import render_comparison
+
+N = 8
+
+
+def test_fig1b(benchmark, save_result):
+    result = benchmark.pedantic(figure_1b, rounds=3, iterations=1)
+
+    headline = [
+        ("E(D_ES) at p=0.97 (omitted from panel)", 349,
+         float(expected_decision_rounds(0.97, N, "ES"))),
+        ("E(D_WLM direct) at p=0.92", 18,
+         float(expected_decision_rounds(0.92, N, "WLM"))),
+        ("E(D_WLM simulated) at p=0.92", 114,
+         float(expected_decision_rounds(0.92, N, "WLM_SIM"))),
+        ("E(D_AFM) at p=0.85", 10,
+         float(expected_decision_rounds(0.85, N, "AFM"))),
+        ("E(D_LM) at p=0.85", 69,
+         float(expected_decision_rounds(0.85, N, "LM"))),
+        ("p where LM overtakes AFM", 0.96,
+         find_crossover("LM", "AFM", N, p_low=0.7)),
+        ("p where direct WLM overtakes AFM", 0.97,
+         find_crossover("WLM", "AFM", N, p_low=0.7)),
+    ]
+    save_result(
+        "fig1b_analysis_low_p",
+        render_series(result, max_rows=18)
+        + "\n\n"
+        + render_comparison("Section 4.2 headline numbers", headline),
+    )
+
+    for label, paper_value, measured in headline:
+        if paper_value < 1:  # crossover probabilities
+            assert measured == pytest.approx(paper_value, abs=0.015), label
+        else:  # round counts, which the paper reports as integers
+            assert measured == pytest.approx(paper_value, abs=1.0), label

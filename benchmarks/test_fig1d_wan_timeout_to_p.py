@@ -1,0 +1,33 @@
+"""Figure 1(d): WAN — how timeouts translate to the fraction of delivered
+messages (the measured p).
+
+Paper landmarks: ~0.88 at 160 ms, ~0.90 at 170 ms, ~0.95 at 200 ms,
+~0.96 at 210 ms; monotone; bounded by ~0.99 (assuring 100% is unrealistic
+on a WAN).
+"""
+
+import numpy as np
+
+from repro.experiments import figure_1d, render_series
+
+
+def test_fig1d(benchmark, wan_sweep, save_result):
+    result = benchmark.pedantic(
+        figure_1d, kwargs={"sweep": wan_sweep}, rounds=1, iterations=1
+    )
+    save_result("fig1d_wan_timeout_to_p", render_series(result))
+
+    timeouts = np.array(result.x)
+    p_values = np.array(result.series["p"])
+
+    # Monotone non-decreasing (up to run noise) and in the WAN regime.
+    assert (np.diff(p_values) > -0.02).all()
+    assert p_values[-1] < 0.999  # 100% is unreachable
+    assert p_values[-1] > 0.93
+
+    # Landmarks within a few percent of the paper's curve.
+    def p_at(timeout):
+        return float(p_values[np.argmin(np.abs(timeouts - timeout))])
+
+    assert abs(p_at(0.16) - 0.88) < 0.05
+    assert abs(p_at(0.21) - 0.96) < 0.03

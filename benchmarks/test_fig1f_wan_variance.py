@@ -1,0 +1,36 @@
+"""Figure 1(f): WAN — variance of the per-run P_M values.
+
+Paper shape: ◊LM has high variance at short timeouts (runs with a slow
+Poland node satisfy few rounds, others most — "while in some runs 95% of
+all rounds satisfy the conditions of ◊LM, in other runs little more than
+15% do"); ◊AFM's incidence is consistently low at those timeouts (low
+variance); for large timeouts the ◊AFM/◊LM/◊WLM variances go to ~0 while
+ES's remains substantial.
+"""
+
+import numpy as np
+
+from repro.experiments import figure_1f, render_series
+
+
+def test_fig1f(benchmark, wan_sweep, save_result):
+    result = benchmark.pedantic(
+        figure_1f, kwargs={"sweep": wan_sweep}, rounds=1, iterations=1
+    )
+    save_result("fig1f_wan_variance", render_series(result))
+
+    timeouts = np.array(result.x)
+    index_160 = int(np.argmin(np.abs(timeouts - 0.16)))
+    last = len(timeouts) - 1
+
+    # The slow-node effect: LM's run-to-run variance at short timeouts
+    # dwarfs WLM's (whose leader links bypass the slow node).
+    assert result.series["LM"][index_160] > 3 * result.series["WLM"][index_160]
+
+    # At the largest timeout, the indulgent models' variance collapses...
+    for model in ("AFM", "LM", "WLM"):
+        assert result.series[model][last] < 0.01
+    # ...while ES's stays the largest.
+    assert result.series["ES"][last] >= max(
+        result.series[model][last] for model in ("AFM", "LM", "WLM")
+    )

@@ -1,0 +1,47 @@
+"""Figure 1(g): WAN — average number of rounds to global decision per
+model versus timeout.
+
+Paper shape: at low timeouts the ◊WLM algorithm reaches consensus in far
+fewer rounds than the others; from ~180 ms its round count approaches its
+4-4.5 floor (the paper reads 4.5 rounds at 180 ms); ◊LM bottoms out at 3+
+rounds and ◊AFM at 5; ES needs enormously many rounds throughout.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments import figure_1g, render_series
+
+
+def test_fig1g(benchmark, wan_sweep, save_result):
+    result = benchmark.pedantic(
+        figure_1g, kwargs={"sweep": wan_sweep}, rounds=1, iterations=1
+    )
+    save_result("fig1g_wan_rounds", render_series(result))
+
+    timeouts = np.array(result.x)
+    last = len(timeouts) - 1
+
+    # Floors: each model's round count approaches its algorithm's count.
+    assert 4.0 <= result.series["WLM"][last] < 6.5
+    assert 3.0 <= result.series["LM"][last] < 5.5
+    assert 5.0 <= result.series["AFM"][last] < 7.5
+
+    # Rounds shrink as the timeout grows (ignoring censored NaN cells).
+    for model in ("AFM", "LM", "WLM"):
+        series = [v for v in result.series[model] if not math.isnan(v)]
+        assert series[-1] <= series[0] + 0.5, model
+
+    # ES is far above everyone wherever it is measurable at all.
+    es_values = [v for v in result.series["ES"] if not math.isnan(v)]
+    if es_values:
+        assert min(es_values) > 8
+
+    # At the shortest measurable timeouts, WLM needs fewer rounds than
+    # AFM (the weak model stabilizes much more often).
+    for index in range(min(3, last)):
+        wlm = result.series["WLM"][index]
+        afm = result.series["AFM"][index]
+        if not math.isnan(wlm) and not math.isnan(afm):
+            assert wlm < afm + 1.0

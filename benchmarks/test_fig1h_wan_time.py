@@ -1,0 +1,56 @@
+"""Figure 1(h): WAN — average *time* to global decision per model versus
+timeout.
+
+Paper shape: for low timeouts the ◊WLM algorithm achieves consensus much
+faster than all others; from ~180 ms its time is comparable to ◊LM's;
+◊AFM takes more time than both below ~230 ms; ES is off the chart.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments import figure_1h, render_series
+
+
+def test_fig1h(benchmark, wan_sweep, save_result):
+    result = benchmark.pedantic(
+        figure_1h, kwargs={"sweep": wan_sweep}, rounds=1, iterations=1
+    )
+    save_result("fig1h_wan_time", render_series(result))
+
+    timeouts = np.array(result.x)
+
+    def value(model, timeout):
+        return result.series[model][int(np.argmin(np.abs(timeouts - timeout)))]
+
+    # WLM fastest at short timeouts (where it is the only leader model
+    # whose conditions still hold often).
+    wlm_160 = value("WLM", 0.16)
+    assert not math.isnan(wlm_160)
+    for other in ("ES", "AFM"):
+        other_160 = value(other, 0.16)
+        assert math.isnan(other_160) or other_160 > wlm_160
+
+    # AFM slower than LM and WLM below 230 ms.
+    for timeout in (0.17, 0.18, 0.20):
+        afm = value("AFM", timeout)
+        if math.isnan(afm):
+            continue
+        assert afm > value("WLM", timeout) - 0.05
+
+    # From ~210 ms, WLM and LM are comparable (within ~60%): the paper's
+    # "comparable to ◊LM" regime.
+    for timeout in (0.21, 0.23, 0.26):
+        wlm = value("WLM", timeout)
+        lm = value("LM", timeout)
+        assert wlm < lm * 1.9
+
+    # ES, where measurable, is several times slower than WLM.
+    es_finite = [
+        (t, v)
+        for t, v in zip(timeouts, result.series["ES"])
+        if not math.isnan(v)
+    ]
+    for timeout, es_value in es_finite:
+        assert es_value > 2 * value("WLM", timeout)

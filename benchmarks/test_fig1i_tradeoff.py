@@ -1,0 +1,58 @@
+"""Figure 1(i): the timeout / decision-time tradeoff for ◊LM and ◊WLM.
+
+Paper shape: decision time as a function of the timeout is convex — too
+short a timeout needs many rounds, too long makes each round expensive —
+with interior optima (~170 ms for ◊WLM at ~730 ms, ~210 ms for ◊LM at
+~650 ms; ◊WLM's optimum sits at a *smaller* timeout than ◊LM's, and its
+best time is within ~15% of ◊LM's while sending Θ(n) instead of Θ(n²)
+messages per round).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.crossover import optimal_timeout
+from repro.experiments import figure_1i, render_series
+
+
+def test_fig1i(benchmark, wan_sweep, save_result):
+    result = benchmark.pedantic(
+        figure_1i, kwargs={"sweep": wan_sweep}, rounds=1, iterations=1
+    )
+    save_result("fig1i_tradeoff", render_series(result))
+
+    optima = {}
+    for model in ("LM", "WLM"):
+        finite = [
+            (t, v)
+            for t, v in zip(result.x, result.series[model])
+            if not math.isnan(v)
+        ]
+        timeouts, times = zip(*finite)
+        optima[model] = optimal_timeout(list(timeouts), list(times))
+
+    wlm_timeout, wlm_best = optima["WLM"]
+    lm_timeout, lm_best = optima["LM"]
+
+    # WLM's optimum at a timeout no larger than LM's.
+    assert wlm_timeout <= lm_timeout
+    # Best decision times within 40% of each other (paper: 730 vs 650 ms)
+    # despite WLM's linear message complexity.
+    assert wlm_best < lm_best * 1.4
+    assert lm_best < wlm_best * 1.4
+    # Optima in the paper's ballpark (hundreds of milliseconds).
+    assert 0.4 < wlm_best < 1.3
+    assert 0.4 < lm_best < 1.3
+
+    # Convexity of the WLM curve: the optimum is interior, and both a
+    # much shorter and a much longer timeout are worse.
+    wlm_series = {
+        t: v
+        for t, v in zip(result.x, result.series["WLM"])
+        if not math.isnan(v)
+    }
+    shortest = min(wlm_series)
+    longest = max(wlm_series)
+    assert wlm_series[shortest] > wlm_best
+    assert wlm_series[longest] > wlm_best

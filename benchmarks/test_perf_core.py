@@ -1,0 +1,82 @@
+"""Performance microbenchmarks of the core machinery.
+
+Unlike the figure/table benchmarks (which run once and assert shapes),
+these time the hot paths with pytest-benchmark's full repetition
+machinery: lockstep consensus rounds, model predicates, matrix sampling,
+and the closed forms.  They guard against performance regressions that
+would make the paper-scale sweeps impractical.
+"""
+
+import numpy as np
+
+from repro.analysis.equations import expected_decision_rounds
+from repro.core import WlmConsensus
+from repro.giraf import FixedLeaderOracle, IIDSchedule, LockstepRunner, StableAfterSchedule
+from repro.models import get_model
+from repro.net.planetlab import PlanetLabProfile
+
+
+def test_perf_wlm_consensus_run(benchmark):
+    """One full Algorithm 2 execution (n=8, chaos then stability)."""
+    n = 8
+
+    def run():
+        schedule = StableAfterSchedule(
+            IIDSchedule(n, p=0.4, seed=7), gsr=5, model="WLM", leader=0
+        )
+        runner = LockstepRunner(
+            n,
+            lambda pid: WlmConsensus(pid, n, pid),
+            FixedLeaderOracle(0),
+            schedule,
+        )
+        return runner.run(max_rounds=30)
+
+    result = benchmark(run)
+    assert result.all_correct_decided
+
+
+def test_perf_model_predicates(benchmark):
+    """All four predicates over a batch of 100 random matrices."""
+    rng = np.random.default_rng(3)
+    matrices = rng.random((100, 8, 8)) < 0.9
+    for m in matrices:
+        np.fill_diagonal(m, True)
+    models = [get_model(name) for name in ("ES", "LM", "WLM", "AFM")]
+
+    def evaluate():
+        count = 0
+        for matrix in matrices:
+            for model in models:
+                leader = 0 if model.needs_leader else None
+                if model.satisfied(matrix, leader=leader):
+                    count += 1
+        return count
+
+    count = benchmark(evaluate)
+    assert 0 < count < 400
+
+
+def test_perf_wan_round_sampling(benchmark):
+    """Vectorized sampling of 100 WAN rounds (the sweeps' inner loop)."""
+    profile = PlanetLabProfile(seed=5)
+
+    def sample():
+        return [profile.sample_round_latencies(k * 0.2) for k in range(100)]
+
+    rounds = benchmark(sample)
+    assert len(rounds) == 100
+
+
+def test_perf_closed_forms(benchmark):
+    """E(D_M) for all models over a 200-point p grid."""
+    grid = np.linspace(0.9, 0.999, 200)
+
+    def evaluate():
+        return {
+            model: expected_decision_rounds(grid, 8, model)
+            for model in ("ES", "LM", "WLM", "WLM_SIM", "AFM")
+        }
+
+    curves = benchmark(evaluate)
+    assert all(len(v) == 200 for v in curves.values())

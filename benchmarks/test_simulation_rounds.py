@@ -1,0 +1,59 @@
+"""Table C (Appendix B): the ◊LM-in-◊WLM simulation decides within 7 ◊WLM
+rounds of GSR; the direct Algorithm 2 wins every cold-start race."""
+
+import numpy as np
+
+from repro.consensus import LmConsensus
+from repro.core import LmOverWlmSimulation, WlmConsensus
+from repro.giraf import (
+    FixedLeaderOracle,
+    IIDSchedule,
+    LockstepRunner,
+    StableAfterSchedule,
+)
+
+
+def measure(gsrs=(4, 5, 6, 7, 8, 9), seeds=range(6), n=5):
+    margins = {"simulated": [], "direct": []}
+    for gsr in gsrs:
+        for seed in seeds:
+            for label, factory in (
+                (
+                    "simulated",
+                    lambda pid: LmOverWlmSimulation(
+                        pid, n, LmConsensus(pid, n, (pid + 1) * 10)
+                    ),
+                ),
+                ("direct", lambda pid: WlmConsensus(pid, n, (pid + 1) * 10)),
+            ):
+                schedule = StableAfterSchedule(
+                    IIDSchedule(n, p=0.0, seed=seed),
+                    gsr=gsr,
+                    model="WLM",
+                    leader=0,
+                    seed=seed + 7,
+                )
+                runner = LockstepRunner(
+                    n, factory, FixedLeaderOracle(0), schedule
+                )
+                result = runner.run(max_rounds=gsr + 20)
+                assert result.all_correct_decided
+                margins[label].append(result.global_decision_round - gsr)
+    return margins
+
+
+def test_simulation_rounds(benchmark, save_result):
+    margins = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        "◊LM-over-◊WLM simulation vs direct Algorithm 2 (silence before GSR)",
+        f"simulated: worst GSR+{max(margins['simulated'])}, "
+        f"mean GSR+{np.mean(margins['simulated']):.2f}  (Appendix B bound: GSR+7)",
+        f"direct   : worst GSR+{max(margins['direct'])}, "
+        f"mean GSR+{np.mean(margins['direct']):.2f}  (Theorem 10: GSR+4)",
+    ]
+    save_result("tabC_simulation_rounds", "\n".join(lines))
+
+    assert max(margins["simulated"]) <= 7
+    assert max(margins["direct"]) <= 4
+    assert np.mean(margins["direct"]) < np.mean(margins["simulated"])

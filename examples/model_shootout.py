@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""How to choose a timing model — the paper's question, answered live.
+
+Runs all four consensus algorithms (ES 3-round, ◊LM 3-round, Algorithm 2
+for ◊WLM, ◊AFM 5-round) and Paxos against the *same* sequence of
+lockstep networks whose per-round stability degrades from excellent to
+poor, and reports rounds-to-decision and messages.  It then replays the
+[13] adversary to show why Algorithm 2 exists: Paxos recovery is linear
+in n, Algorithm 2's is constant.
+
+Run:  python examples/model_shootout.py
+"""
+
+import numpy as np
+
+from repro.consensus import AfmConsensus, EsConsensus, LmConsensus, PaxosConsensus
+from repro.core import WlmConsensus
+from repro.giraf import (
+    FixedLeaderOracle,
+    IIDSchedule,
+    IntermittentlyStableSchedule,
+    LockstepRunner,
+    NullOracle,
+)
+
+SETUPS = {
+    "ES (3 rounds)": (EsConsensus, "ES", False),
+    "◊LM (3 rounds)": (LmConsensus, "LM", True),
+    "◊WLM (Alg. 2)": (WlmConsensus, "WLM", True),
+    "◊AFM (5 rounds)": (AfmConsensus, "AFM", False),
+    "Paxos (in ◊WLM)": (PaxosConsensus, "WLM", True),
+}
+
+
+def run_one(cls, model, needs_leader, stability, seed, n=8, max_rounds=600):
+    schedule = IntermittentlyStableSchedule(
+        IIDSchedule(n, p=0.1, seed=seed),
+        stability_prob=stability,
+        model=model,
+        leader=0,
+        seed=seed + 17,
+    )
+    oracle = FixedLeaderOracle(0) if needs_leader else NullOracle()
+    runner = LockstepRunner(
+        n, lambda pid: cls(pid, n, (pid + 1) * 100), oracle, schedule
+    )
+    return runner.run(max_rounds=max_rounds)
+
+
+class PoisonedMajoritySchedule:
+    """◊WLM-satisfying rounds with a rotating leader-heard majority (the
+    [13] adversary): each phase-1 attempt surfaces one new acceptor whose
+    promised ballot exceeds the leader's."""
+
+    def __init__(self, n, leader, gsr):
+        from repro.models.matrix import empty_matrix
+
+        self.n = n
+        self.leader = leader
+        self.gsr = gsr
+        self._empty = empty_matrix
+
+    def matrix(self, round_number):
+        m = self._empty(self.n)
+        if round_number < self.gsr:
+            return m
+        m[:, self.leader] = True
+        others = [pid for pid in range(self.n) if pid != self.leader]
+        start = (round_number // 2) % len(others)
+        for offset in range(self.n // 2):
+            m[self.leader, others[(start + offset) % len(others)]] = True
+        return m
+
+    def delivered_round(self, round_number, src, dst):
+        return round_number if self.matrix(round_number)[dst, src] else None
+
+
+def run_poisoned_paxos(n, leader=0):
+    schedule = PoisonedMajoritySchedule(n, leader, gsr=2)
+    runner = LockstepRunner(
+        n,
+        lambda pid: PaxosConsensus(pid, n, (pid + 1) * 10),
+        FixedLeaderOracle(leader),
+        schedule,
+    )
+    for pid in range(n):
+        if pid != leader:
+            runner.processes[pid].algorithm.promised = 1000 * pid + pid
+    result = runner.run(max_rounds=500)
+    return result, runner.processes[leader].algorithm.restarts
+
+
+def run_poisoned_wlm(n, leader=0):
+    schedule = PoisonedMajoritySchedule(n, leader, gsr=2)
+    runner = LockstepRunner(
+        n,
+        lambda pid: WlmConsensus(pid, n, (pid + 1) * 10),
+        FixedLeaderOracle(leader),
+        schedule,
+    )
+    return runner.run(max_rounds=60)
+
+
+def main() -> None:
+    n = 8
+    print("=== Rounds to global decision, by per-round stability P_M ===")
+    print("(mean over 12 seeded runs; each algorithm runs under ITS model's")
+    print(" conditions holding independently each round with probability P)\n")
+    stabilities = (1.0, 0.9, 0.8, 0.7)
+    header = f"{'algorithm':<18}" + "".join(f"{f'P={s}':>10}" for s in stabilities)
+    print(header)
+    for name, (cls, model, needs_leader) in SETUPS.items():
+        cells = []
+        for stability in stabilities:
+            rounds = []
+            for seed in range(12):
+                result = run_one(cls, model, needs_leader, stability, seed)
+                if result.all_correct_decided:
+                    rounds.append(result.global_decision_round)
+            cells.append(
+                f"{np.mean(rounds):>10.1f}" if rounds else f"{'—':>10}"
+            )
+        print(f"{name:<18}" + "".join(cells))
+
+    print("\nReading: under full stability the round counts are the paper's")
+    print("3/3/4/5; as stability drops, ES (needing all n² links) falls apart")
+    print("first, while Algorithm 2 needs only the leader's links.\n")
+
+    print("=== Message complexity (stable state, per round) ===")
+    for name, (cls, model, needs_leader) in SETUPS.items():
+        result = run_one(cls, model, needs_leader, 1.0, seed=3)
+        stable_rate = result.per_round_messages[-1]
+        print(f"{name:<18} {stable_rate:>4} messages/round "
+              f"({'linear' if stable_rate <= 2 * (n - 1) else 'quadratic'})")
+
+    print("\n=== The [13] adversary: recovery after GSR ===")
+    print(f"{'n':>4}{'Paxos rounds':>14}{'Paxos restarts':>16}{'Alg2 rounds':>13}")
+    for size in (5, 9, 13, 17):
+        paxos_result, restarts = run_poisoned_paxos(size)
+        wlm_result = run_poisoned_wlm(size)
+        print(f"{size:>4}{paxos_result.global_decision_round:>14}"
+              f"{restarts:>16}{wlm_result.global_decision_round:>13}")
+    print("\nPaxos chases ballots linearly in n; Algorithm 2's timestamps are")
+    print("round numbers — fresh by construction — so it never chases.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this repo targets may lack the ``wheel`` package, which
+modern PEP 660 editable installs require; with this ``setup.py`` present
+(and no ``[build-system]`` table in ``pyproject.toml``), ``pip install -e .``
+falls back to the legacy ``setup.py develop`` path, which works offline.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro: a reproduction of "How to Choose a Timing Model?"
+(Idit Keidar & Alexander Shraer, DSN 2007 / CCIT Report #586).
+
+The paper asks how the choice of *timing model* — which links must be
+timely during stable periods — affects consensus performance.  It defines
+a new model, eventual **WLM** (Weak Leader-Majority), gives a consensus
+algorithm for it with *linear* stable-state message complexity and
+constant decision time (Algorithm 2), and compares four models (ES, ◊LM,
+◊WLM, ◊AFM) analytically and on a LAN and PlanetLab.
+
+Package map:
+
+- :mod:`repro.giraf` — the GIRAF round framework (the paper's Algorithm 1).
+- :mod:`repro.models` — the timing-model predicates and registry.
+- :mod:`repro.core` — Algorithm 2 and the ◊LM-in-◊WLM simulation.
+- :mod:`repro.consensus` — baseline algorithms (ES, ◊LM, ◊AFM, Paxos).
+- :mod:`repro.net` — link/latency models: IID, LAN, synthetic PlanetLab.
+- :mod:`repro.sim` — the discrete-event simulator.
+- :mod:`repro.sync` — the Section 5.1 round-synchronization protocol.
+- :mod:`repro.analysis` — the Section 4 closed forms and asymptotics.
+- :mod:`repro.smr` — state-machine replication on top of consensus.
+- :mod:`repro.experiments` — the figure-by-figure evaluation harness.
+
+Quick start::
+
+    from repro.giraf import (LockstepRunner, IIDSchedule,
+                             StableAfterSchedule, FixedLeaderOracle)
+    from repro.core import WlmConsensus
+
+    n, leader = 8, 0
+    schedule = StableAfterSchedule(IIDSchedule(n, p=0.9, seed=1),
+                                   gsr=5, model="WLM", leader=leader)
+    runner = LockstepRunner(
+        n, lambda pid: WlmConsensus(pid, n, proposal=pid),
+        FixedLeaderOracle(leader), schedule)
+    result = runner.run(max_rounds=50)
+    assert result.agreement_holds() and result.validity_holds()
+"""
+
+__version__ = "1.0.0"

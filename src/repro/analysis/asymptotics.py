@@ -1,0 +1,51 @@
+"""Appendix C: asymptotic behaviour of ``E(D_M)`` as ``n`` grows.
+
+For any fixed ``p < 1``:
+
+- ``E(D_ES) -> ∞``   (``p^{3n²} -> 0``);
+- ``E(D_LM) -> ∞``   (``p^{3n} -> 0``);
+- ``E(D_WLM) -> ∞``  for both the direct (exponent 4n) and simulated
+  (exponent 7n) algorithms, the simulated one faster;
+- ``E(D_AFM) -> 5``  for ``p > 1/2`` (Lemma 13, via a Chernoff bound):
+  majorities per row/column become certain as ``n`` grows, so only the
+  5-round algorithm cost remains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.analysis.equations import expected_decision_rounds
+
+
+def afm_upper_bound(p: float, n: int) -> float:
+    """Lemma 13's Chernoff upper bound on ``E(D_AFM)``.
+
+    For ``p > 1/2``::
+
+        E(D_AFM) <= 1 / (1 - e^{-(1 - 1/(2p))² n p / 2})^{10 n} + 4
+
+    (10n = 2n row/column constraints times 5 consecutive rounds).
+    """
+    if not 0.5 < p <= 1.0:
+        raise ValueError("the Chernoff bound needs p > 1/2")
+    if n < 1:
+        raise ValueError("n must be positive")
+    epsilon = 1.0 - 1.0 / (2.0 * p)
+    success = 1.0 - np.exp(-(epsilon**2) * n * p / 2.0)
+    if success <= 0.0:
+        return np.inf
+    return float(1.0 / success ** (10 * n) + 4)
+
+
+def expected_rounds_vs_n(
+    p: float, sizes: Iterable[int], model: str
+) -> dict[int, float]:
+    """``E(D_model)`` for each system size in ``sizes`` at fixed ``p``.
+
+    Used by the Appendix C benchmark to exhibit the divergence of
+    ES/LM/WLM and the convergence of AFM to 5 rounds.
+    """
+    return {n: float(expected_decision_rounds(p, n, model)) for n in sizes}

@@ -1,0 +1,40 @@
+"""Consensus algorithms for the four timing models.
+
+All algorithms are GIRAF instantiations sharing the commit/decide machinery
+of the paper's Algorithm 2 (timestamped estimates, majority-approved
+leaders, PREPARE/COMMIT/DECIDE message types):
+
+- :mod:`base` — the shared message format, the :class:`ConsensusAlgorithm`
+  interface, and the common update helpers.
+- :mod:`es` — 3-round algorithm for Eventual Synchrony (reconstruction of
+  the optimal indulgent algorithm of [14]).
+- :mod:`lm` — 3-round algorithm for eventual LM (reconstruction of [19]).
+- :mod:`afm` — 5-round leaderless algorithm for eventual AFM
+  (reconstruction of [19]).
+- :mod:`paxos` — round-based Paxos: the prior protocol able to run in
+  eventual WLM, exhibiting the O(n)-rounds-after-GSR recovery of [13].
+
+The paper's own algorithm for eventual WLM lives in :mod:`repro.core.wlm`.
+"""
+
+from repro.consensus.base import (
+    MsgType,
+    ConsensusMessage,
+    ConsensusAlgorithm,
+    round_maximum,
+)
+from repro.consensus.es import EsConsensus
+from repro.consensus.lm import LmConsensus
+from repro.consensus.afm import AfmConsensus
+from repro.consensus.paxos import PaxosConsensus
+
+__all__ = [
+    "MsgType",
+    "ConsensusMessage",
+    "ConsensusAlgorithm",
+    "round_maximum",
+    "EsConsensus",
+    "LmConsensus",
+    "AfmConsensus",
+    "PaxosConsensus",
+]

@@ -1,0 +1,111 @@
+"""Shared machinery of the indulgent consensus algorithms.
+
+The message format is the paper's 5-tuple
+``(msgType, est, ts, leader, majApproved)`` (Algorithm 2, line 8); the
+baseline algorithms reuse it, leaving fields they do not need at their
+defaults.  ``Values`` is any totally ordered set — the algorithms rely on
+the order when several estimates share the maximal timestamp.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.giraf.kernel import GirafAlgorithm
+
+
+class MsgType(enum.IntEnum):
+    """The three message types of Algorithm 2.
+
+    A process sends COMMIT when it sees a possibility of decision in the
+    next few rounds, DECIDE forever once it has decided, and PREPARE
+    otherwise.
+    """
+
+    PREPARE = 0
+    COMMIT = 1
+    DECIDE = 2
+
+
+@dataclass(frozen=True)
+class ConsensusMessage:
+    """One round's message.
+
+    Attributes:
+        msg_type: PREPARE / COMMIT / DECIDE.
+        est: the sender's current estimate of the decision value.
+        ts: the timestamp (ballot) attached to the estimate.
+        leader: the process the sender's oracle indicated as leader when
+            this message was produced (``None`` for leaderless algorithms).
+        maj_approved: whether the sender received, in the round before this
+            message was produced, messages from a majority of processes
+            naming the sender as their leader.
+    """
+
+    msg_type: MsgType
+    est: Any
+    ts: int
+    leader: Optional[int] = None
+    maj_approved: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ts < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.ts}")
+
+
+def round_maximum(messages: Mapping[int, ConsensusMessage]) -> Tuple[int, Any]:
+    """The paper's ``(maxTS, maxEST)`` update (Algorithm 2, lines 19-20).
+
+    ``maxTS`` is the largest timestamp among this round's messages and
+    ``maxEST`` the largest estimate carried with that timestamp (``Values``
+    is totally ordered, so the maximum is well defined).
+    """
+    if not messages:
+        raise ValueError("round_maximum needs at least one message")
+    max_ts = max(m.ts for m in messages.values())
+    max_est = max(m.est for m in messages.values() if m.ts == max_ts)
+    return max_ts, max_est
+
+
+class ConsensusAlgorithm(GirafAlgorithm):
+    """Base class for the consensus algorithms.
+
+    Concrete algorithms implement ``initialize``/``compute``; this base
+    holds the consensus-problem state: the read-only proposal ``prop_i``
+    and the write-once decision ``dec_i``.
+    """
+
+    def __init__(self, pid: int, n: int, proposal: Any) -> None:
+        if n < 2:
+            raise ValueError("consensus needs at least 2 processes")
+        if not 0 <= pid < n:
+            raise ValueError(f"pid {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+        self.proposal = proposal
+        self._decision: Any = None
+        self.decided_in_round: Optional[int] = None
+
+    @property
+    def majority(self) -> int:
+        """The majority threshold ``floor(n/2) + 1``."""
+        return self.n // 2 + 1
+
+    def decision(self) -> Any:
+        """The decided value, or ``None`` while undecided."""
+        return self._decision
+
+    def _decide(self, value: Any, round_number: int) -> None:
+        """Write the write-once decision variable."""
+        if self._decision is not None:
+            if self._decision != value:
+                raise AssertionError(
+                    f"process {self.pid} attempted to overwrite decision "
+                    f"{self._decision!r} with {value!r}"
+                )
+            return
+        self._decision = value
+        self.decided_in_round = round_number

@@ -1,0 +1,18 @@
+"""The paper's primary contribution.
+
+- :mod:`messages` — the wire format of Algorithm 2:
+  ``(msgType, est, ts, leader, majApproved)``.
+- :mod:`wlm` — Algorithm 2 itself: the time- and message-efficient
+  consensus algorithm for the eventual-WLM model.  Linear stable-state
+  message complexity; global decision by GSR+4, or GSR+3 when the leader
+  oracle stabilizes one round early (Theorem 10).
+- :mod:`simulation` — Algorithm 3: the simulation of the eventual-LM model
+  inside eventual WLM (two WLM rounds per simulated LM round), used for the
+  "simulated WLM" comparison line (7 rounds to global decision).
+"""
+
+from repro.core.messages import MsgType, ConsensusMessage
+from repro.core.wlm import WlmConsensus
+from repro.core.simulation import LmOverWlmSimulation
+
+__all__ = ["MsgType", "ConsensusMessage", "WlmConsensus", "LmOverWlmSimulation"]

@@ -1,0 +1,18 @@
+"""Wire format of Algorithm 2.
+
+The message is the paper's 5-tuple::
+
+    ( msgType ∈ {PREPARE, COMMIT, DECIDE},
+      est     ∈ Values,
+      ts      ∈ N,
+      leader  ∈ Π,
+      majApproved ∈ Boolean )
+
+The types are shared with the baseline algorithms and therefore defined in
+:mod:`repro.consensus.base`; this module re-exports them under the core
+package for users of the paper's algorithm.
+"""
+
+from repro.consensus.base import MsgType, ConsensusMessage
+
+__all__ = ["MsgType", "ConsensusMessage"]

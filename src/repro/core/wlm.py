@@ -1,0 +1,148 @@
+"""Algorithm 2: the time- and message-efficient consensus algorithm for ◊WLM.
+
+This is a line-by-line transcription of the paper's Algorithm 2.  The key
+ideas (Section 3):
+
+- **Fresh timestamps without discovery.**  Unlike Paxos, the leader never
+  tries to learn the highest timestamp in the system (which can take O(n)
+  rounds after GSR in ◊WLM [13]).  A committing process simply uses the
+  current round number as the timestamp — round numbers are monotonically
+  increasing, so the timestamp is always fresh.
+
+- **majApproved.**  Trusting a leader that may not know all timestamps is
+  made safe by the ``majApproved`` flag: the leader sets it when a majority
+  named it as leader in the previous round.  Because two processes cannot
+  both be named leader by a majority in the same round, commits of a round
+  agree (Lemma 3); and because a majApproved leader heard from a majority,
+  it cannot have missed a timestamp that led to decision (Lemma 5).
+
+- **Pipelined proposals.**  The leader makes progress every round from its
+  current state, so a stabilization that arrives mid-attempt wastes no
+  rounds.
+
+- **Linear message complexity.**  ``Destinations()``: the leader sends to
+  everyone; everyone else sends only to its leader.  Once all processes
+  trust the same leader (at most one round after GSR), each round carries
+  ``2(n-1)`` messages.
+
+Guarantees (Theorem 10): validity and uniform agreement always; global
+decision by round GSR+4, and by GSR+3 when the Ω oracle's eventual
+property already holds from round GSR-1 (the common stable-leader case).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional
+
+from repro.consensus.base import (
+    ConsensusAlgorithm,
+    ConsensusMessage,
+    MsgType,
+    round_maximum,
+)
+from repro.giraf.kernel import Inbox, RoundOutput
+
+
+class WlmConsensus(ConsensusAlgorithm):
+    """The paper's Algorithm 2, code for process ``p_i``."""
+
+    def __init__(self, pid: int, n: int, proposal: Any) -> None:
+        super().__init__(pid, n, proposal)
+        # Additional state (Algorithm 2, lines 1-6).
+        self.est: Any = proposal
+        self.ts: int = 0
+        self.max_ts: int = 0
+        self.maj_approved: bool = False
+        self.prev_leader: Optional[int] = None  # prevLD_i
+        self.new_leader: Optional[int] = None  # newLD_i
+        self.msg_type: MsgType = MsgType.PREPARE
+
+    # ------------------------------------------------------------------
+    # procedure Destinations(leader_i)  (lines 9-11)
+    # ------------------------------------------------------------------
+    def _destinations(self, leader: int) -> FrozenSet[int]:
+        if leader == self.pid:
+            return frozenset(range(self.n))
+        return frozenset({leader})
+
+    def _message(self) -> ConsensusMessage:
+        return ConsensusMessage(
+            msg_type=self.msg_type,
+            est=self.est,
+            ts=self.ts,
+            leader=self.new_leader,
+            maj_approved=self.maj_approved,
+        )
+
+    # ------------------------------------------------------------------
+    # procedure initialize(leader_i)  (lines 12-14)
+    # ------------------------------------------------------------------
+    def initialize(self, oracle_output: Any) -> RoundOutput:
+        leader = int(oracle_output)
+        self.prev_leader = leader
+        self.new_leader = leader
+        return RoundOutput(self._message(), self._destinations(leader))
+
+    # ------------------------------------------------------------------
+    # procedure compute(k_i, M[*][*], leader_i)  (lines 15-30)
+    # ------------------------------------------------------------------
+    def compute(self, round_number: int, inbox: Inbox, oracle_output: Any) -> RoundOutput:
+        leader = int(oracle_output)
+        if self._decision is None:
+            messages: dict[int, ConsensusMessage] = dict(inbox.round(round_number))
+            # Update variables (lines 18-21).  The process always has its
+            # own round-k message, so `messages` is never empty.
+            self.prev_leader = self.new_leader
+            self.new_leader = leader
+            self.max_ts, max_est = round_maximum(messages)
+            self.maj_approved = (
+                sum(1 for m in messages.values() if m.leader == self.pid)
+                > self.n // 2
+            )
+
+            # Round actions (lines 22-29).
+            decide_msg = self._first_decide(messages)
+            commit_count = sum(
+                1 for m in messages.values() if m.msg_type == MsgType.COMMIT
+            )
+            own = messages.get(self.pid)
+            leader_msg = (
+                messages.get(self.prev_leader)
+                if self.prev_leader is not None
+                else None
+            )
+            if decide_msg is not None:
+                # decide-1 (lines 23-24)
+                self.est = decide_msg.est
+                self._decide(self.est, round_number)
+                self.msg_type = MsgType.DECIDE
+            elif (
+                commit_count > self.n // 2
+                and own is not None
+                and own.msg_type == MsgType.COMMIT  # decide-2 (line 25)
+                and own.maj_approved  # decide-3 (line 26)
+            ):
+                self._decide(self.est, round_number)
+                self.msg_type = MsgType.DECIDE
+            elif leader_msg is not None and leader_msg.maj_approved:
+                # commit (lines 27-28)
+                self.est = leader_msg.est
+                self.ts = round_number
+                self.msg_type = MsgType.COMMIT
+            else:
+                # prepare (line 29)
+                self.ts = self.max_ts
+                self.est = max_est
+                self.msg_type = MsgType.PREPARE
+
+        return RoundOutput(self._message(), self._destinations(leader))
+
+    @staticmethod
+    def _first_decide(
+        messages: dict[int, ConsensusMessage]
+    ) -> Optional[ConsensusMessage]:
+        """The DECIDE message from the lowest-id sender, if any (rule decide-1)."""
+        for sender in sorted(messages):
+            if messages[sender].msg_type == MsgType.DECIDE:
+                return messages[sender]
+        return None

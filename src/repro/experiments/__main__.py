@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — regenerate the paper's evaluation."""
+
+import sys
+
+from repro.experiments.run_all import main
+
+sys.exit(main())

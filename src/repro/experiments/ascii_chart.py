@@ -1,0 +1,121 @@
+"""ASCII line charts for figure data.
+
+The evaluation environment has no plotting stack, so the figures are
+rendered as monospace charts: good enough to eyeball every shape the
+paper's Figure 1 shows (the ES cliff, the WLM plateau, the convex
+timeout tradeoff), and diffable in version control.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+#: Marker characters assigned to series, in order.
+MARKERS = "oxv*#@+%"
+
+
+def _scale(
+    value: float, low: float, high: float, steps: int, log: bool
+) -> Optional[int]:
+    """Map ``value`` to a bucket in ``0..steps-1``; None for NaN/inf."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    if log:
+        if value <= 0 or low <= 0:
+            return None
+        position = (math.log(value) - math.log(low)) / (
+            math.log(high) - math.log(low)
+        )
+    else:
+        position = (value - low) / (high - low)
+    bucket = int(round(position * (steps - 1)))
+    return min(max(bucket, 0), steps - 1)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_log: bool = False,
+) -> str:
+    """Render named series over a shared x grid as an ASCII chart.
+
+    NaN and infinite points are skipped (they appear as gaps — exactly
+    how censored ES measurements should look).  With ``y_log`` the y axis
+    is logarithmic, which is how the paper plots Figure 1(a)/(b).
+    """
+    if not x:
+        raise ValueError("need at least one x value")
+    if not series:
+        raise ValueError("need at least one series")
+    finite = [
+        v
+        for values in series.values()
+        for v in values
+        if v == v and v not in (float("inf"), float("-inf"))
+        and (not y_log or v > 0)
+    ]
+    if not finite:
+        raise ValueError("no finite data to plot")
+    y_low, y_high = min(finite), max(finite)
+    if y_low == y_high:
+        y_low, y_high = y_low - 0.5, y_high + 0.5
+    x_low, x_high = min(x), max(x)
+    if x_low == x_high:
+        x_low, x_high = x_low - 0.5, x_high + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for xv, yv in zip(x, values):
+            col = _scale(xv, x_low, x_high, width, log=False)
+            row = _scale(yv, y_low, y_high, height, log=y_log)
+            if col is None or row is None:
+                continue
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.4g}" + (" (log)" if y_log else "")
+    lines.append(f"{top_label:>10} ┤")
+    for row_index, row in enumerate(grid):
+        prefix = " " * 10 + "│"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{y_low:>10.4g} ┼" + "─" * width)
+    left = f"{x_low:.4g}"
+    right = f"{x_high:.4g}"
+    padding = width - len(left) - len(right)
+    lines.append(" " * 11 + left + " " * max(padding, 1) + right)
+    if x_label:
+        lines.append(" " * 11 + x_label.center(width))
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def chart_figure(result, y_log: bool = False, **kwargs) -> str:
+    """Chart a :class:`~repro.experiments.figures.FigureSeries`.
+
+    Confidence-interval companion series (``*_ci_low``/``*_ci_high``) are
+    dropped; only the mean lines are drawn.
+    """
+    series = {
+        name: values
+        for name, values in result.series.items()
+        if not name.endswith("_ci_low") and not name.endswith("_ci_high")
+    }
+    return ascii_chart(
+        result.x,
+        series,
+        title=f"Figure {result.figure}",
+        x_label=result.x_label,
+        y_log=y_log,
+        **kwargs,
+    )

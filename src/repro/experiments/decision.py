@@ -1,0 +1,93 @@
+"""Rounds and time to global decision, measured as in Section 5.3.
+
+From each of several random starting points of a run, find the first
+window of ``c`` consecutive rounds satisfying the model (``c`` = the
+decision-round count of the model's fastest algorithm); the number of
+rounds consumed from the start through the window's end is the measured
+:math:`D_M`, and the decision *time* multiplies by the round length (the
+timeout — each round lasts the timeout in the synchronized-round setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.gsr import first_satisfying_window
+from repro.models.registry import TimingModel, get_model
+from repro.experiments.measurement import satisfaction_vector
+
+
+@dataclass(frozen=True)
+class DecisionStats:
+    """Decision measurements for one (run, model) pair.
+
+    Attributes:
+        mean_rounds: average rounds to global decision over the start
+            points that reached a decision window within the trace.
+        mean_time: ``mean_rounds`` times the round length.
+        samples: number of start points measured.
+        censored: start points whose window never completed in the trace
+            (they are excluded from the means; a high censored count means
+            the trace was too short for this model/timeout — ES with short
+            timeouts, typically).
+    """
+
+    mean_rounds: float
+    mean_time: float
+    samples: int
+    censored: int
+
+
+def decision_stats(
+    matrices: np.ndarray,
+    model: TimingModel | str,
+    round_length: float,
+    start_points: int,
+    leader: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    window: Optional[int] = None,
+) -> DecisionStats:
+    """Measure decision rounds/time from random start points of one trace."""
+    if isinstance(model, str):
+        model = get_model(model)
+    if window is None:
+        window = model.decision_rounds
+    if rng is None:
+        rng = np.random.default_rng(0)
+    satisfied = satisfaction_vector(matrices, model, leader)
+    total_rounds = len(satisfied)
+    if total_rounds < window + 1:
+        raise ValueError("trace too short for the decision window")
+
+    # Random starts in the first half so windows have room to complete.
+    upper = max(1, total_rounds // 2)
+    starts = rng.integers(0, upper, size=start_points)
+
+    rounds_needed: list[int] = []
+    censored = 0
+    for start in starts:
+        run_length = 0
+        found = None
+        for index in range(int(start), total_rounds):
+            run_length = run_length + 1 if satisfied[index] else 0
+            if run_length >= window:
+                found = index - int(start) + 1
+                break
+        if found is None:
+            censored += 1
+        else:
+            rounds_needed.append(found)
+
+    if rounds_needed:
+        mean_rounds = float(np.mean(rounds_needed))
+    else:
+        mean_rounds = float("nan")
+    return DecisionStats(
+        mean_rounds=mean_rounds,
+        mean_time=mean_rounds * round_length,
+        samples=len(rounds_needed),
+        censored=censored,
+    )

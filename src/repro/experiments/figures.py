@@ -1,0 +1,371 @@
+"""Regeneration of every panel of the paper's Figure 1.
+
+Panels (a)-(b) are analytic (Section 4.2); panels (c)-(i) are measured
+(Section 5).  Each function returns a :class:`FigureSeries` — the x grid
+plus named y series — which :mod:`repro.experiments.report` renders as the
+text tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.equations import expected_decision_rounds
+from repro.analysis.stats import summarize
+from repro.experiments.config import (
+    SweepConfig,
+    QUICK,
+    QUICK_LAN,
+)
+from repro.experiments.decision import decision_stats
+from repro.experiments.measurement import (
+    measured_p,
+    model_satisfaction,
+    sample_lan_trace,
+    sample_wan_trace,
+    timely_matrices,
+)
+from repro.net.lan import LanProfile
+from repro.net.planetlab import LEADER_NODE
+
+#: Presentation order of the measured models.
+MEASURED_MODELS = ("ES", "AFM", "LM", "WLM")
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: an x grid and named y series."""
+
+    figure: str
+    x_label: str
+    x: list[float]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: str = ""
+
+
+# ----------------------------------------------------------------------
+# Shared sweep data for the measured figures.
+# ----------------------------------------------------------------------
+@dataclass
+class WanRun:
+    """One WAN run at one timeout: its measured p and delivery matrices."""
+
+    p: float
+    matrices: np.ndarray
+
+
+@dataclass
+class WanSweep:
+    """All runs of a WAN sweep, grouped by timeout."""
+
+    config: SweepConfig
+    leader: int
+    runs: dict[float, list[WanRun]] = field(default_factory=dict)
+
+
+def run_wan_sweep(config: SweepConfig = QUICK, leader: int = LEADER_NODE) -> WanSweep:
+    """Execute the WAN measurement protocol of Section 5.3.
+
+    For each timeout, ``config.runs`` independent runs of
+    ``config.rounds_per_run`` synchronized rounds over fresh instances of
+    the synthetic PlanetLab network.
+    """
+    sweep = WanSweep(config=config, leader=leader)
+    for t_index, timeout in enumerate(config.timeouts):
+        runs = []
+        for r_index in range(config.runs):
+            seed = config.run_seed(t_index, r_index)
+            trace = sample_wan_trace(config.rounds_per_run, timeout, seed)
+            runs.append(
+                WanRun(
+                    p=measured_p(trace, timeout),
+                    matrices=timely_matrices(trace, timeout),
+                )
+            )
+        sweep.runs[timeout] = runs
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# Figure 1(a) and 1(b): analytic E(D) versus p, n = 8.
+# ----------------------------------------------------------------------
+def figure_1a(
+    n: int = 8, p_grid: Optional[Sequence[float]] = None
+) -> FigureSeries:
+    """Expected decision rounds at very high p (paper Figure 1(a)).
+
+    Shape: ES deteriorates drastically as p leaves 1.0; AFM/LM/direct-WLM
+    stay excellent; simulated WLM trails the direct algorithm.
+    """
+    if p_grid is None:
+        p_grid = np.linspace(0.986, 1.0, 29)
+    x = [float(p) for p in p_grid]
+    result = FigureSeries(
+        figure="1a", x_label="p (probability of timely delivery)", x=x
+    )
+    for model in ("ES", "AFM", "LM", "WLM", "WLM_SIM"):
+        result.series[model] = [
+            float(expected_decision_rounds(p, n, model)) for p in x
+        ]
+    return result
+
+
+def figure_1b(
+    n: int = 8, p_grid: Optional[Sequence[float]] = None
+) -> FigureSeries:
+    """Expected decision rounds for p in [0.9, 1) (paper Figure 1(b)).
+
+    ES is omitted, as in the paper (it is off the chart: 349 rounds at
+    p = 0.97).  Shape: AFM best at low p; LM overtakes around p = 0.96 and
+    direct WLM around p = 0.97; simulated WLM is far worse than direct.
+    """
+    if p_grid is None:
+        p_grid = np.linspace(0.90, 0.999, 34)
+    x = [float(p) for p in p_grid]
+    result = FigureSeries(figure="1b", x_label="p", x=x)
+    for model in ("AFM", "LM", "WLM", "WLM_SIM"):
+        result.series[model] = [
+            float(expected_decision_rounds(p, n, model)) for p in x
+        ]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 1(c): LAN — measured versus IID-predicted P_M per timeout.
+# ----------------------------------------------------------------------
+def figure_1c(config: SweepConfig = QUICK_LAN) -> FigureSeries:
+    """LAN measurement (paper Figure 1(c)).
+
+    Shape targets from Section 5.2: ES hard to satisfy but better than the
+    IID prediction (late messages concentrate in few rounds); AFM and LM
+    worse than predicted (the occasionally slow node); leader-based models
+    with the *good* leader far better than predicted, with WLM best of
+    all; with an *average* leader, WLM/LM need much larger timeouts than
+    AFM.
+    """
+    x = [float(t) for t in config.timeouts]
+    result = FigureSeries(figure="1c", x_label="timeout (s)", x=x)
+    names = (
+        [f"measured_{m}" for m in MEASURED_MODELS]
+        + [f"predicted_{m}" for m in MEASURED_MODELS]
+        + ["measured_WLM_avg_leader", "measured_LM_avg_leader"]
+    )
+    for name in names:
+        result.series[name] = []
+
+    profile_defaults = LanProfile()
+    good, average = profile_defaults.good_leader, profile_defaults.average_leader
+    from repro.analysis.equations import p_es, p_lm, p_wlm, p_afm
+
+    predicted_fns = {"ES": p_es, "AFM": p_afm, "LM": p_lm, "WLM": p_wlm}
+
+    for t_index, timeout in enumerate(config.timeouts):
+        per_run: dict[str, list[float]] = {name: [] for name in names}
+        p_values = []
+        for r_index in range(config.runs):
+            seed = config.run_seed(t_index, r_index)
+            trace = sample_lan_trace(config.rounds_per_run, timeout, seed)
+            matrices = timely_matrices(trace, timeout)
+            p_values.append(measured_p(trace, timeout))
+            for model in MEASURED_MODELS:
+                leader = good if model in ("LM", "WLM") else None
+                per_run[f"measured_{model}"].append(
+                    model_satisfaction(matrices, model, leader=leader)
+                )
+            per_run["measured_WLM_avg_leader"].append(
+                model_satisfaction(matrices, "WLM", leader=average)
+            )
+            per_run["measured_LM_avg_leader"].append(
+                model_satisfaction(matrices, "LM", leader=average)
+            )
+        p_hat = float(np.mean(p_values))
+        for model in MEASURED_MODELS:
+            result.series[f"predicted_{model}"].append(
+                float(predicted_fns[model](p_hat, config.n))
+            )
+        for name in names:
+            if name.startswith("measured"):
+                result.series[name].append(float(np.mean(per_run[name])))
+    result.notes = f"good leader = node {good}, average leader = node {average}"
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 1(d): WAN — timeout to measured p.
+# ----------------------------------------------------------------------
+def figure_1d(
+    config: SweepConfig = QUICK, sweep: Optional[WanSweep] = None
+) -> FigureSeries:
+    """Fraction of timely messages per timeout (paper Figure 1(d)).
+
+    Landmarks in the paper: 160 ms -> ~0.88, 170 ms -> ~0.90,
+    200 ms -> ~0.95, 210 ms -> ~0.96.
+    """
+    if sweep is None:
+        sweep = run_wan_sweep(config)
+    x = [float(t) for t in sweep.config.timeouts]
+    result = FigureSeries(figure="1d", x_label="timeout (s)", x=x)
+    result.series["p"] = [
+        float(np.mean([run.p for run in sweep.runs[t]])) for t in x
+    ]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 1(e)/(f): WAN — P_M with confidence intervals; variance.
+# ----------------------------------------------------------------------
+def _per_run_pm(sweep: WanSweep, model: str) -> dict[float, list[float]]:
+    leader = sweep.leader if model in ("LM", "WLM") else None
+    return {
+        timeout: [
+            model_satisfaction(
+                run.matrices, model, leader=leader, skip_until_first_stable=True
+            )
+            for run in runs
+        ]
+        for timeout, runs in sweep.runs.items()
+    }
+
+
+def figure_1e(
+    config: SweepConfig = QUICK, sweep: Optional[WanSweep] = None
+) -> FigureSeries:
+    """Measured P_M with 95% confidence intervals (paper Figure 1(e)).
+
+    Shape targets: WLM's conditions hold far more often than the others
+    (paper at 160 ms: P_ES = 0, P_AFM ~ 0.4, P_LM ~ 0.79, P_WLM ~ 0.94);
+    ES confidence intervals *grow* with the timeout while the others
+    shrink.
+    """
+    if sweep is None:
+        sweep = run_wan_sweep(config)
+    x = [float(t) for t in sweep.config.timeouts]
+    result = FigureSeries(figure="1e", x_label="timeout (s)", x=x)
+    for model in MEASURED_MODELS:
+        per_run = _per_run_pm(sweep, model)
+        means, lows, highs = [], [], []
+        for timeout in x:
+            summary = summarize(per_run[timeout])
+            means.append(summary.mean)
+            lows.append(summary.ci_low)
+            highs.append(summary.ci_high)
+        result.series[model] = means
+        result.series[f"{model}_ci_low"] = lows
+        result.series[f"{model}_ci_high"] = highs
+    return result
+
+
+def figure_1f(
+    config: SweepConfig = QUICK, sweep: Optional[WanSweep] = None
+) -> FigureSeries:
+    """Variance of the per-run P_M values (paper Figure 1(f)).
+
+    Shape targets: LM has high variance at short timeouts (the slow
+    Poland node hurts some runs badly); AFM's incidence is consistently
+    low there (low variance); ES variance grows with the timeout.
+    """
+    if sweep is None:
+        sweep = run_wan_sweep(config)
+    x = [float(t) for t in sweep.config.timeouts]
+    result = FigureSeries(figure="1f", x_label="timeout (s)", x=x)
+    for model in MEASURED_MODELS:
+        per_run = _per_run_pm(sweep, model)
+        result.series[model] = [
+            summarize(per_run[timeout]).variance for timeout in x
+        ]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 1(g)/(h)/(i): WAN — rounds and time to global decision.
+# ----------------------------------------------------------------------
+def _decision_series(
+    sweep: WanSweep, models: Sequence[str]
+) -> tuple[dict[str, list[float]], dict[str, list[float]]]:
+    """(mean rounds, mean time) per model per timeout, averaged over runs."""
+    rounds: dict[str, list[float]] = {m: [] for m in models}
+    times: dict[str, list[float]] = {m: [] for m in models}
+    for model in models:
+        leader = sweep.leader if model in ("LM", "WLM") else None
+        for t_index, timeout in enumerate(sweep.config.timeouts):
+            run_rounds = []
+            for r_index, run in enumerate(sweep.runs[timeout]):
+                rng = np.random.default_rng(
+                    sweep.config.run_seed(t_index, r_index) + 7_777
+                )
+                stats = decision_stats(
+                    run.matrices,
+                    model,
+                    round_length=timeout,
+                    start_points=sweep.config.start_points,
+                    leader=leader,
+                    rng=rng,
+                )
+                if stats.samples > 0:
+                    run_rounds.append(stats.mean_rounds)
+            mean_rounds = float(np.mean(run_rounds)) if run_rounds else float("nan")
+            rounds[model].append(mean_rounds)
+            times[model].append(mean_rounds * timeout)
+    return rounds, times
+
+
+def figure_1g(
+    config: SweepConfig = QUICK, sweep: Optional[WanSweep] = None
+) -> FigureSeries:
+    """Average rounds to global decision per model (paper Figure 1(g))."""
+    if sweep is None:
+        sweep = run_wan_sweep(config)
+    x = [float(t) for t in sweep.config.timeouts]
+    result = FigureSeries(figure="1g", x_label="timeout (s)", x=x)
+    rounds, _ = _decision_series(sweep, MEASURED_MODELS)
+    result.series.update(rounds)
+    return result
+
+
+def figure_1h(
+    config: SweepConfig = QUICK, sweep: Optional[WanSweep] = None
+) -> FigureSeries:
+    """Average time to global decision per model (paper Figure 1(h)).
+
+    Shape targets: WLM fastest at low timeouts; comparable to LM from
+    ~180 ms; AFM slower than both below ~230 ms.
+    """
+    if sweep is None:
+        sweep = run_wan_sweep(config)
+    x = [float(t) for t in sweep.config.timeouts]
+    result = FigureSeries(figure="1h", x_label="timeout (s)", x=x)
+    _, times = _decision_series(sweep, MEASURED_MODELS)
+    result.series.update(times)
+    return result
+
+
+def figure_1i(
+    config: SweepConfig = QUICK, sweep: Optional[WanSweep] = None
+) -> FigureSeries:
+    """The timeout/decision-time tradeoff for LM and WLM (Figure 1(i)).
+
+    The curve is convex: short timeouts need more rounds, long timeouts
+    make every round expensive.  The paper reads optima of ~170 ms (WLM,
+    ~730 ms decision time) and ~210 ms (LM, ~650 ms).
+    """
+    if sweep is None:
+        sweep = run_wan_sweep(config)
+    x = [float(t) for t in sweep.config.timeouts]
+    result = FigureSeries(figure="1i", x_label="timeout (s)", x=x)
+    _, times = _decision_series(sweep, ("LM", "WLM"))
+    result.series.update(times)
+    for model in ("LM", "WLM"):
+        values = times[model]
+        finite = [
+            (t, v) for t, v in zip(x, values) if v == v  # drop NaNs
+        ]
+        if finite:
+            best_t, best_v = min(finite, key=lambda pair: pair[1])
+            result.notes += (
+                f"{model}: optimal timeout {best_t * 1000:.0f} ms "
+                f"(decision time {best_v * 1000:.0f} ms). "
+            )
+    return result

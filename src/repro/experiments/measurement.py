@@ -1,0 +1,96 @@
+"""Trace generation and per-model round satisfaction.
+
+A *trace* is what one experimental run produces: a sequence of per-round
+latency matrices.  Against a timeout it yields timely-delivery matrices;
+against a model predicate, the per-round satisfaction vector and the
+fraction ``P_M`` the figures plot.
+
+Following Section 5.2, rounds here are synchronized windows of length
+``timeout`` ("a message is considered to arrive in a communication round
+if its latency is less than the timeout").  The event-driven
+round-synchronization runs (:mod:`repro.sync`) validate that this
+idealization matches protocol-produced matrices; see
+``tests/integration/test_sync_vs_matrix.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.registry import TimingModel, get_model
+from repro.net.base import LatencyModel
+from repro.net.lan import LanProfile
+from repro.net.planetlab import PlanetLabProfile
+
+
+def sample_latency_trace(
+    model: LatencyModel, rounds: int, round_length: float
+) -> np.ndarray:
+    """``rounds`` latency matrices; entry ``[k, dst, src]`` in seconds."""
+    return np.array(
+        [model.sample_round_latencies(k * round_length) for k in range(rounds)]
+    )
+
+
+def sample_wan_trace(rounds: int, round_length: float, seed: int) -> np.ndarray:
+    """A synthetic PlanetLab latency trace (see :class:`PlanetLabProfile`)."""
+    return sample_latency_trace(PlanetLabProfile(seed=seed), rounds, round_length)
+
+
+def sample_lan_trace(rounds: int, round_length: float, seed: int) -> np.ndarray:
+    """A LAN latency trace (see :class:`LanProfile`)."""
+    return sample_latency_trace(LanProfile(seed=seed), rounds, round_length)
+
+
+def timely_matrices(latency_trace: np.ndarray, timeout: float) -> np.ndarray:
+    """Boolean delivery matrices for a timeout; diagonal forced timely."""
+    matrices = latency_trace < timeout
+    n = matrices.shape[1]
+    matrices[:, np.arange(n), np.arange(n)] = True
+    return matrices
+
+
+def measured_p(latency_trace: np.ndarray, timeout: float) -> float:
+    """Fraction of (off-diagonal) messages delivered within the timeout.
+
+    This is the measured analogue of the IID ``p`` — the paper's
+    Figure 1(d) maps timeouts to these values.
+    """
+    n = latency_trace.shape[1]
+    off_diagonal = ~np.eye(n, dtype=bool)
+    return float((latency_trace[:, off_diagonal] < timeout).mean())
+
+
+def satisfaction_vector(
+    matrices: np.ndarray,
+    model: TimingModel | str,
+    leader: Optional[int] = None,
+) -> np.ndarray:
+    """Boolean vector: does round ``k`` satisfy the model?"""
+    if isinstance(model, str):
+        model = get_model(model)
+    return np.array(
+        [model.satisfied(matrix, leader=leader) for matrix in matrices]
+    )
+
+def model_satisfaction(
+    matrices: np.ndarray,
+    model: TimingModel | str,
+    leader: Optional[int] = None,
+    skip_until_first_stable: bool = False,
+) -> float:
+    """``P_M``: the fraction of rounds satisfying the model.
+
+    With ``skip_until_first_stable`` (the paper's Section 5.3 protocol),
+    rounds before the first satisfying round are excluded, eliminating
+    startup effects.  Returns 0.0 if no round satisfies the model.
+    """
+    satisfied = satisfaction_vector(matrices, model, leader)
+    if skip_until_first_stable:
+        indices = np.flatnonzero(satisfied)
+        if indices.size == 0:
+            return 0.0
+        satisfied = satisfied[indices[0]:]
+    return float(satisfied.mean())

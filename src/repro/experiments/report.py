@@ -1,0 +1,58 @@
+"""Plain-text rendering of figure data.
+
+The benchmarks print these tables; EXPERIMENTS.md records them next to the
+paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.figures import FigureSeries
+
+
+def _format(value: float) -> str:
+    if value != value:  # NaN
+        return "     -"
+    if value == float("inf"):
+        return "   inf"
+    if abs(value) >= 10000:
+        return f"{value:10.3g}"
+    if abs(value) >= 100:
+        return f"{value:10.1f}"
+    return f"{value:10.4f}"
+
+
+def render_series(result: FigureSeries, max_rows: Optional[int] = None) -> str:
+    """Render a :class:`FigureSeries` as an aligned text table."""
+    names = list(result.series)
+    header = f"Figure {result.figure}  ({result.x_label})"
+    lines = [header, "-" * len(header)]
+    column_header = "  ".join(
+        [f"{result.x_label[:10]:>10}"] + [f"{name[:14]:>14}" for name in names]
+    )
+    lines.append(column_header)
+    rows = range(len(result.x))
+    if max_rows is not None and len(result.x) > max_rows:
+        step = max(1, len(result.x) // max_rows)
+        rows = range(0, len(result.x), step)
+    for i in rows:
+        cells = [f"{result.x[i]:>10.4g}"]
+        for name in names:
+            cells.append(f"{_format(result.series[name][i]):>14}")
+        lines.append("  ".join(cells))
+    if result.notes:
+        lines.append(f"notes: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    rows: Sequence[tuple[str, float, float]],
+) -> str:
+    """Render (label, paper value, measured value) comparison rows."""
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'quantity':<44}{'paper':>12}{'this repo':>12}")
+    for label, paper_value, measured in rows:
+        lines.append(f"{label:<44}{paper_value:>12.4g}{measured:>12.4g}")
+    return "\n".join(lines)

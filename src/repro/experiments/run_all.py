@@ -1,0 +1,116 @@
+"""Regenerate the paper's whole evaluation with one command.
+
+::
+
+    python -m repro.experiments                 # quick scale, ./results
+    python -m repro.experiments --scale paper   # the 33x300 protocol
+    python -m repro.experiments --out /tmp/figs --charts
+
+Writes one text table (and optionally an ASCII chart) per figure, plus a
+summary of the Section 4.2 headline numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import expected_decision_rounds, find_crossover
+from repro.experiments.ascii_chart import chart_figure
+from repro.experiments.config import PAPER, PAPER_LAN, QUICK, QUICK_LAN
+from repro.experiments.figures import (
+    figure_1a,
+    figure_1b,
+    figure_1c,
+    figure_1d,
+    figure_1e,
+    figure_1f,
+    figure_1g,
+    figure_1h,
+    figure_1i,
+    run_wan_sweep,
+)
+from repro.experiments.report import render_comparison, render_series
+
+
+def headline_numbers() -> str:
+    n = 8
+    rows = [
+        ("E(D_ES) at p=0.97", 349,
+         float(expected_decision_rounds(0.97, n, "ES"))),
+        ("E(D_WLM direct) at p=0.92", 18,
+         float(expected_decision_rounds(0.92, n, "WLM"))),
+        ("E(D_WLM simulated) at p=0.92", 114,
+         float(expected_decision_rounds(0.92, n, "WLM_SIM"))),
+        ("E(D_AFM) at p=0.85", 10,
+         float(expected_decision_rounds(0.85, n, "AFM"))),
+        ("E(D_LM) at p=0.85", 69,
+         float(expected_decision_rounds(0.85, n, "LM"))),
+        ("LM overtakes AFM at p", 0.96,
+         find_crossover("LM", "AFM", n, p_low=0.7)),
+        ("WLM overtakes AFM at p", 0.97,
+         find_crossover("WLM", "AFM", n, p_low=0.7)),
+    ]
+    return render_comparison("Section 4.2 headline numbers", rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate every figure of 'How to Choose a Timing Model?'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="quick: seconds; paper: the full 33-runs-by-300-rounds protocol",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("results"), help="output directory"
+    )
+    parser.add_argument(
+        "--charts", action="store_true", help="also write ASCII charts"
+    )
+    args = parser.parse_args(argv)
+
+    wan_config = PAPER if args.scale == "paper" else QUICK
+    lan_config = PAPER_LAN if args.scale == "paper" else QUICK_LAN
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, result, y_log: bool = False) -> None:
+        (args.out / f"{name}.txt").write_text(render_series(result) + "\n")
+        if args.charts:
+            (args.out / f"{name}.chart.txt").write_text(
+                chart_figure(result, y_log=y_log) + "\n"
+            )
+        print(f"  wrote {args.out / name}.txt")
+
+    start = time.time()
+    print("[1/4] analysis figures (Section 4.2)")
+    emit("fig1a", figure_1a(), y_log=True)
+    emit("fig1b", figure_1b(), y_log=True)
+    (args.out / "headline.txt").write_text(headline_numbers() + "\n")
+    print(f"  wrote {args.out / 'headline.txt'}")
+
+    print("[2/4] LAN measurement (Section 5.2)")
+    emit("fig1c", figure_1c(lan_config))
+
+    print("[3/4] WAN sweep (Section 5.3) — this is the slow part")
+    sweep = run_wan_sweep(wan_config)
+
+    print("[4/4] WAN figures")
+    emit("fig1d", figure_1d(sweep=sweep))
+    emit("fig1e", figure_1e(sweep=sweep))
+    emit("fig1f", figure_1f(sweep=sweep))
+    emit("fig1g", figure_1g(sweep=sweep))
+    emit("fig1h", figure_1h(sweep=sweep))
+    emit("fig1i", figure_1i(sweep=sweep))
+
+    print(f"done in {time.time() - start:.1f}s -> {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""GIRAF: the paper's generic round-based framework (Algorithm 1).
+
+GIRAF (General Round-based Algorithm Framework, Keidar & Shraer, PODC'06)
+expresses an indulgent algorithm as two functions, ``initialize()`` and
+``compute()``, run by a generic round automaton.  The environment advances
+rounds via *end-of-round* actions; timing models are predicates on which
+messages arrive in the round they were sent.
+
+This package contains the framework itself plus the machinery to execute
+it:
+
+- :mod:`kernel` — the algorithm interface and per-round inbox.
+- :mod:`process` — the generic process automaton of Algorithm 1.
+- :mod:`oracle` — failure-detector oracles (:math:`\\Omega` and friends).
+- :mod:`schedule` — delivery schedules (who hears whom, per round).
+- :mod:`runner` — a lockstep executor with full instrumentation.
+"""
+
+from repro.giraf.kernel import GirafAlgorithm, Inbox, RoundOutput
+from repro.giraf.oracle import (
+    Oracle,
+    FixedLeaderOracle,
+    EventuallyStableLeaderOracle,
+    RotatingLeaderOracle,
+    NullOracle,
+)
+from repro.giraf.process import GirafProcess
+from repro.giraf.schedule import (
+    Schedule,
+    MatrixSchedule,
+    IIDSchedule,
+    StableAfterSchedule,
+    IntermittentlyStableSchedule,
+    CrashPlan,
+)
+from repro.giraf.adversary import (
+    PartitionSchedule,
+    BurstyLossSchedule,
+    TargetedSilenceSchedule,
+)
+from repro.giraf.runner import LockstepRunner, RunResult
+from repro.giraf.tracing import RunTrace, TracingAlgorithm, render_trace
+
+__all__ = [
+    "GirafAlgorithm",
+    "Inbox",
+    "RoundOutput",
+    "Oracle",
+    "FixedLeaderOracle",
+    "EventuallyStableLeaderOracle",
+    "RotatingLeaderOracle",
+    "NullOracle",
+    "GirafProcess",
+    "Schedule",
+    "MatrixSchedule",
+    "IIDSchedule",
+    "StableAfterSchedule",
+    "IntermittentlyStableSchedule",
+    "CrashPlan",
+    "PartitionSchedule",
+    "BurstyLossSchedule",
+    "TargetedSilenceSchedule",
+    "LockstepRunner",
+    "RunResult",
+    "RunTrace",
+    "TracingAlgorithm",
+    "render_trace",
+]

@@ -1,0 +1,210 @@
+"""Lockstep execution of GIRAF algorithms.
+
+The runner advances all live processes through synchronized rounds (the
+paper makes the same simplification for its analysis: "we assume that
+processes proceed in synchronized rounds, although this is not required
+for correctness").  Asynchrony is expressed through the schedule: messages
+may be late or lost arbitrarily, and the oracle may lie, until the run's
+GSR.
+
+The runner instruments everything the evaluation needs: per-round sent and
+delivered matrices, message counts, per-process decision rounds, and the
+global-decision round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.giraf.kernel import GirafAlgorithm
+from repro.giraf.oracle import Oracle
+from repro.giraf.process import GirafProcess
+from repro.giraf.schedule import CrashPlan, Schedule
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one lockstep run.
+
+    Attributes:
+        n: number of processes.
+        rounds_executed: index of the last completed round.
+        decisions: ``pid -> decided value`` for processes that decided.
+        decision_rounds: ``pid -> round`` at which each decision was taken
+            (the round whose end-of-round computation wrote ``dec_i``).
+        proposals: ``pid -> proposed value`` (for validity checking).
+        correct: pids that never crashed.
+        messages_sent: total point-to-point transmissions (self excluded).
+        sent_matrices: per round, boolean ``A_sent[dst, src]`` of attempted
+            transmissions (self-loops marked true for processes that
+            produced a message).
+        delivered_matrices: per round, boolean matrix of timely deliveries
+            among attempted ones (plus self-loops).
+        per_round_messages: transmissions per round (stable-state message
+            complexity is read off the tail of this list).
+    """
+
+    n: int
+    rounds_executed: int = 0
+    decisions: dict[int, Any] = field(default_factory=dict)
+    decision_rounds: dict[int, int] = field(default_factory=dict)
+    proposals: dict[int, Any] = field(default_factory=dict)
+    correct: frozenset[int] = frozenset()
+    messages_sent: int = 0
+    sent_matrices: list[np.ndarray] = field(default_factory=list)
+    delivered_matrices: list[np.ndarray] = field(default_factory=list)
+    per_round_messages: list[int] = field(default_factory=list)
+
+    @property
+    def all_correct_decided(self) -> bool:
+        """Did every correct process decide?"""
+        return all(pid in self.decisions for pid in self.correct)
+
+    @property
+    def global_decision_round(self) -> Optional[int]:
+        """The round by which every deciding process has decided (paper's
+        *global decision*), or ``None`` if no correct process decided."""
+        if not self.all_correct_decided or not self.decision_rounds:
+            return None
+        return max(self.decision_rounds.values())
+
+    def agreement_holds(self) -> bool:
+        """No two decided values differ (uniform agreement)."""
+        values = list(self.decisions.values())
+        return all(v == values[0] for v in values) if values else True
+
+    def validity_holds(self) -> bool:
+        """Every decided value was some process's proposal."""
+        proposed = set(self.proposals.values())
+        return all(value in proposed for value in self.decisions.values())
+
+
+class LockstepRunner:
+    """Drives ``n`` GIRAF processes through synchronized rounds."""
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[int], GirafAlgorithm],
+        oracle: Oracle,
+        schedule: Schedule,
+        crash_plan: Optional[CrashPlan] = None,
+    ) -> None:
+        if schedule.n != n:
+            raise ValueError(f"schedule is for n={schedule.n}, runner for n={n}")
+        self.n = n
+        self.oracle = oracle
+        self.schedule = schedule
+        self.crash_plan = crash_plan or CrashPlan()
+        self.crash_plan.validate(n)
+        self.processes = [GirafProcess(pid, algorithm_factory(pid)) for pid in range(n)]
+        # Late messages queued as (delivery_round, original_round, src, dst, payload).
+        self._late_queue: dict[int, list[tuple[int, int, int, Any]]] = {}
+
+    def _live(self, round_number: int) -> list[GirafProcess]:
+        return [
+            proc
+            for proc in self.processes
+            if not self.crash_plan.crashed_at(proc.pid, round_number)
+            or self.crash_plan.in_final_round(proc.pid, round_number)
+        ]
+
+    def _alive_for_compute(self, round_number: int) -> list[GirafProcess]:
+        return [
+            proc
+            for proc in self.processes
+            if not self.crash_plan.crashed_at(proc.pid, round_number)
+        ]
+
+    def run(
+        self,
+        max_rounds: int,
+        stop_on_global_decision: bool = True,
+        extra_rounds_after_decision: int = 0,
+    ) -> RunResult:
+        """Execute up to ``max_rounds`` rounds and return the observations.
+
+        Args:
+            max_rounds: hard cap on executed rounds.
+            stop_on_global_decision: stop once every correct process decided.
+            extra_rounds_after_decision: keep running this many rounds past
+                global decision (useful to observe stable-state message
+                complexity after the protocol quiesces).
+        """
+        result = RunResult(n=self.n, correct=self.crash_plan.correct(self.n))
+
+        # Round 0: the first end-of-round initializes everyone.
+        for proc in self.processes:
+            if not self.crash_plan.crashed_at(proc.pid, 1):
+                proc.end_of_round(self.oracle.query(proc.pid, 0))
+                decision = proc.decision()
+                if decision is not None:
+                    result.decisions[proc.pid] = decision
+                    result.decision_rounds[proc.pid] = 0
+        for proc in self.processes:
+            proposal = getattr(proc.algorithm, "proposal", None)
+            if proposal is not None:
+                result.proposals[proc.pid] = proposal
+
+        decided_deadline: Optional[int] = None
+        for k in range(1, max_rounds + 1):
+            result.rounds_executed = k
+            sent = np.eye(self.n, dtype=bool)
+            delivered = np.eye(self.n, dtype=bool)
+
+            # Transmissions of round-k messages.
+            for proc in self._live(k):
+                targets = proc.send_targets()
+                if self.crash_plan.in_final_round(proc.pid, k):
+                    targets = targets & self.crash_plan.final_sends[proc.pid]
+                payload = proc.outgoing_payload
+                for dst in sorted(targets):
+                    sent[dst, proc.pid] = True
+                    result.messages_sent += 1
+                    arrival = self.schedule.delivered_round(k, proc.pid, dst)
+                    if arrival is None:
+                        continue
+                    if arrival == k:
+                        delivered[dst, proc.pid] = True
+                        if not self.crash_plan.crashed_at(dst, k):
+                            self.processes[dst].receive(k, proc.pid, payload)
+                    else:
+                        self._late_queue.setdefault(arrival, []).append(
+                            (k, proc.pid, dst, payload)
+                        )
+            result.per_round_messages.append(int(sent.sum()) - self.n)
+
+            # Late arrivals scheduled for this round (stored in their
+            # original slot; harmless to the algorithms, visible to tests).
+            for original_round, src, dst, payload in self._late_queue.pop(k, []):
+                if not self.crash_plan.crashed_at(dst, k):
+                    self.processes[dst].receive(original_round, src, payload)
+
+            result.sent_matrices.append(sent)
+            result.delivered_matrices.append(delivered)
+
+            # Implementable failure detectors (e.g. HeartbeatOmega) watch
+            # the actual deliveries rather than being told the truth.
+            observe = getattr(self.oracle, "observe", None)
+            if observe is not None:
+                observe(k, delivered)
+
+            # End-of-round computations.
+            for proc in self._alive_for_compute(k):
+                proc.end_of_round(self.oracle.query(proc.pid, k))
+                if proc.pid not in result.decisions:
+                    decision = proc.decision()
+                    if decision is not None:
+                        result.decisions[proc.pid] = decision
+                        result.decision_rounds[proc.pid] = k
+
+            if stop_on_global_decision and result.all_correct_decided:
+                if decided_deadline is None:
+                    decided_deadline = k + extra_rounds_after_decision
+                if k >= decided_deadline:
+                    break
+
+        return result

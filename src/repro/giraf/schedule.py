@@ -1,0 +1,270 @@
+"""Delivery schedules: who hears whom, in which round.
+
+A :class:`Schedule` decides, for each (round, source, destination) triple,
+whether the message is *timely* (arrives in the round it was sent), *late*
+(arrives some rounds afterwards — recorded in its original slot, hence
+useless to a round-driven algorithm, exactly as in the paper), or *lost*.
+
+Schedules are oblivious to the algorithm: they answer for every pair, and
+the runner consults them only for messages actually sent (the algorithm's
+``D_i``).  The full per-round matrix is still available for model
+instrumentation via :meth:`Schedule.matrix`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.models.matrix import validate_matrix
+from repro.models.registry import TimingModel, get_model
+from repro.models.repair import repair_to_satisfy
+
+
+class Schedule(abc.ABC):
+    """Per-round delivery decisions for an ``n``-process system."""
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("a distributed system needs at least 2 processes")
+        self.n = n
+
+    @abc.abstractmethod
+    def matrix(self, round_number: int) -> np.ndarray:
+        """The timely-delivery matrix ``A`` of the given round (``A[dst, src]``)."""
+
+    def delivered_round(self, round_number: int, src: int, dst: int) -> Optional[int]:
+        """Round in which the round-``round_number`` message from ``src``
+        reaches ``dst``: ``round_number`` if timely, a later round if late,
+        ``None`` if lost.  The default treats every untimely message as lost.
+        """
+        if self.matrix(round_number)[dst, src]:
+            return round_number
+        return None
+
+
+class MatrixSchedule(Schedule):
+    """A schedule given by an explicit sequence of matrices.
+
+    Rounds beyond the sequence repeat the last matrix, so a finite script
+    describes an eventually-stable infinite run.  Round numbering is
+    1-based (round 1 uses ``matrices[0]``).
+    """
+
+    def __init__(
+        self,
+        matrices: Sequence[np.ndarray],
+        late_lag: Optional[int] = None,
+    ) -> None:
+        if not matrices:
+            raise ValueError("need at least one matrix")
+        for m in matrices:
+            validate_matrix(m, n=matrices[0].shape[0])
+        super().__init__(matrices[0].shape[0])
+        self._matrices = [np.array(m, dtype=bool) for m in matrices]
+        self._late_lag = late_lag
+
+    def matrix(self, round_number: int) -> np.ndarray:
+        if round_number < 1:
+            raise ValueError("rounds are 1-based")
+        index = min(round_number - 1, len(self._matrices) - 1)
+        return self._matrices[index]
+
+    def delivered_round(self, round_number: int, src: int, dst: int) -> Optional[int]:
+        if self.matrix(round_number)[dst, src]:
+            return round_number
+        if self._late_lag is not None:
+            return round_number + self._late_lag
+        return None
+
+
+class IIDSchedule(Schedule):
+    """The Section 4 link model: every entry timely IID with probability ``p``.
+
+    Matrices are generated lazily per round from a seed, so random access
+    is deterministic.  Untimely messages are lost by default, or arrive
+    ``late_lag`` rounds late when configured (they are equally useless to
+    the algorithms; late delivery only matters to inbox-inspection tests).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        p: float,
+        seed: int = 0,
+        late_lag: Optional[int] = None,
+    ) -> None:
+        super().__init__(n)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be a probability, got {p}")
+        self.p = p
+        self._seed = seed
+        self._late_lag = late_lag
+        self._cache: dict[int, np.ndarray] = {}
+
+    def matrix(self, round_number: int) -> np.ndarray:
+        if round_number < 1:
+            raise ValueError("rounds are 1-based")
+        cached = self._cache.get(round_number)
+        if cached is None:
+            rng = np.random.default_rng((self._seed, round_number))
+            cached = rng.random((self.n, self.n)) < self.p
+            np.fill_diagonal(cached, True)
+            self._cache[round_number] = cached
+        return cached
+
+    def delivered_round(self, round_number: int, src: int, dst: int) -> Optional[int]:
+        if self.matrix(round_number)[dst, src]:
+            return round_number
+        if self._late_lag is not None:
+            return round_number + self._late_lag
+        return None
+
+
+class StableAfterSchedule(Schedule):
+    """Wrap a base schedule and force a timing model to hold from GSR onward.
+
+    Before ``gsr`` the base schedule is used untouched; from round ``gsr``
+    each base matrix is repaired (links turned on) so the model's predicate
+    holds — the repaired links change every round, exercising the mobile
+    (``_v``) variants of the properties.
+    """
+
+    def __init__(
+        self,
+        base: Schedule,
+        gsr: int,
+        model: TimingModel | str,
+        leader: Optional[int] = None,
+        seed: int = 0,
+        correct: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(base.n)
+        if gsr < 1:
+            raise ValueError("gsr must be at least 1 (rounds are 1-based)")
+        self._base = base
+        self.gsr = gsr
+        self._model = get_model(model) if isinstance(model, str) else model
+        self._leader = leader
+        self._seed = seed
+        self._correct = None if correct is None else tuple(sorted(set(correct)))
+        self._cache: dict[int, np.ndarray] = {}
+
+    def matrix(self, round_number: int) -> np.ndarray:
+        if round_number < self.gsr:
+            return self._base.matrix(round_number)
+        cached = self._cache.get(round_number)
+        if cached is None:
+            rng = np.random.default_rng((self._seed, round_number, 0xFACE))
+            cached = repair_to_satisfy(
+                self._base.matrix(round_number),
+                self._model,
+                leader=self._leader,
+                rng=rng,
+                correct=self._correct,
+            )
+            self._cache[round_number] = cached
+        return cached
+
+    def delivered_round(self, round_number: int, src: int, dst: int) -> Optional[int]:
+        if self.matrix(round_number)[dst, src]:
+            return round_number
+        if round_number >= self.gsr:
+            return None
+        return self._base.delivered_round(round_number, src, dst)
+
+
+class IntermittentlyStableSchedule(Schedule):
+    """Each round independently satisfies a model with probability ``stability_prob``.
+
+    This is the Section 4 setting seen from the model's side: a round is
+    "good" (repaired to satisfy the model) with probability ``P_M`` and raw
+    chaos otherwise.  Consensus then completes at the first window of
+    ``c`` consecutive good rounds — the regime where the number of rounds
+    an algorithm needs (4 versus 7 for direct versus simulated ◊WLM)
+    dominates performance.
+    """
+
+    def __init__(
+        self,
+        base: Schedule,
+        stability_prob: float,
+        model: TimingModel | str,
+        leader: Optional[int] = None,
+        seed: int = 0,
+        correct: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(base.n)
+        if not 0.0 <= stability_prob <= 1.0:
+            raise ValueError("stability_prob must be a probability")
+        self._base = base
+        self.stability_prob = stability_prob
+        self._model = get_model(model) if isinstance(model, str) else model
+        self._leader = leader
+        self._seed = seed
+        self._correct = None if correct is None else tuple(sorted(set(correct)))
+        self._cache: dict[int, np.ndarray] = {}
+
+    def good_round(self, round_number: int) -> bool:
+        """Whether this round is forced to satisfy the model."""
+        rng = np.random.default_rng((self._seed, round_number, 0xBEEF))
+        return bool(rng.random() < self.stability_prob)
+
+    def matrix(self, round_number: int) -> np.ndarray:
+        if not self.good_round(round_number):
+            return self._base.matrix(round_number)
+        cached = self._cache.get(round_number)
+        if cached is None:
+            rng = np.random.default_rng((self._seed, round_number, 0xFACE))
+            cached = repair_to_satisfy(
+                self._base.matrix(round_number),
+                self._model,
+                leader=self._leader,
+                rng=rng,
+                correct=self._correct,
+            )
+            self._cache[round_number] = cached
+        return cached
+
+
+@dataclass
+class CrashPlan:
+    """Which processes crash, and when.
+
+    ``crash_rounds[pid] = r`` means ``pid`` executes end-of-rounds
+    ``0 .. r-1`` (so it sends its round-1 .. round-(r-1) messages) and is
+    dead from the start of round ``r``.  ``final_sends[pid]``, if present,
+    lets the process transmit its round-``r`` message to just that subset
+    before dying — the classic "crash mid-broadcast" adversary.
+    """
+
+    crash_rounds: Mapping[int, int] = field(default_factory=dict)
+    final_sends: Mapping[int, frozenset[int]] = field(default_factory=dict)
+
+    def validate(self, n: int) -> None:
+        """Check the plan against the model's resilience bound (< n/2 crashes)."""
+        for pid, r in self.crash_rounds.items():
+            if not 0 <= pid < n:
+                raise ValueError(f"crash pid {pid} out of range")
+            if r < 1:
+                raise ValueError(f"crash round {r} must be >= 1")
+        if len(self.crash_rounds) >= (n + 1) // 2:
+            raise ValueError(
+                f"{len(self.crash_rounds)} crashes violate the <n/2 bound for n={n}"
+            )
+
+    def crashed_at(self, pid: int, round_number: int) -> bool:
+        """Is ``pid`` dead at (the start of) the given round?"""
+        r = self.crash_rounds.get(pid)
+        return r is not None and round_number >= r
+
+    def in_final_round(self, pid: int, round_number: int) -> bool:
+        """Is this the round in which ``pid`` dies mid-broadcast?"""
+        return self.crash_rounds.get(pid) == round_number and pid in self.final_sends
+
+    def correct(self, n: int) -> frozenset[int]:
+        """Processes that never crash."""
+        return frozenset(pid for pid in range(n) if pid not in self.crash_rounds)

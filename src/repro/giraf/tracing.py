@@ -1,0 +1,158 @@
+"""Protocol tracing: record and render what every process did, per round.
+
+Wrap each algorithm in a :class:`TracingAlgorithm` sharing one
+:class:`RunTrace`; after the run, :func:`render_trace` prints a round-by-
+round table of message types, estimates, timestamps and decisions — the
+fastest way to see Algorithm 2's PREPARE → COMMIT → DECIDE cascade, or to
+debug why a run did not converge.
+
+Example::
+
+    trace = RunTrace()
+    runner = LockstepRunner(
+        n,
+        lambda pid: TracingAlgorithm(WlmConsensus(pid, n, pid), trace),
+        oracle, schedule)
+    runner.run(max_rounds=20)
+    print(render_trace(trace))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.giraf.kernel import GirafAlgorithm, Inbox, RoundOutput
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One process's outcome of one end-of-round computation."""
+
+    round_number: int
+    pid: int
+    payload: Any
+    decision: Any
+    destinations: frozenset[int]
+
+    def describe(self) -> str:
+        """A compact cell for the rendered table."""
+        payload = self.payload
+        # Consensus messages are recognized structurally (an import of
+        # repro.consensus here would be circular: its base module builds
+        # on this package).
+        if hasattr(payload, "msg_type") and hasattr(payload, "ts"):
+            cell = (
+                f"{payload.msg_type.name[:3]}"
+                f"({payload.est!r},ts={payload.ts}"
+                f"{',MA' if getattr(payload, 'maj_approved', False) else ''})"
+            )
+        elif payload is None:
+            cell = "-"
+        else:
+            text = repr(payload)
+            cell = text if len(text) <= 18 else text[:15] + "..."
+        if self.decision is not None:
+            cell += " ✓"
+        return cell
+
+
+@dataclass
+class RunTrace:
+    """All events of one run, indexed by round then pid."""
+
+    events: dict[int, dict[int, TraceEvent]] = field(default_factory=dict)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.setdefault(event.round_number, {})[event.pid] = event
+
+    def rounds(self) -> list[int]:
+        return sorted(self.events)
+
+    def decisions(self) -> dict[int, tuple[int, Any]]:
+        """``pid -> (first deciding round, value)``."""
+        decided: dict[int, tuple[int, Any]] = {}
+        for round_number in self.rounds():
+            for pid, event in self.events[round_number].items():
+                if event.decision is not None and pid not in decided:
+                    decided[pid] = (round_number, event.decision)
+        return decided
+
+
+class TracingAlgorithm(GirafAlgorithm):
+    """Transparent wrapper recording every end-of-round outcome."""
+
+    def __init__(self, inner: GirafAlgorithm, trace: RunTrace) -> None:
+        self.inner = inner
+        self.trace = trace
+        self._pid = getattr(inner, "pid", -1)
+
+    def initialize(self, oracle_output: Any) -> RoundOutput:
+        output = self.inner.initialize(oracle_output)
+        self.trace.record(
+            TraceEvent(
+                round_number=0,
+                pid=self._pid,
+                payload=output.payload,
+                decision=self.inner.decision(),
+                destinations=frozenset(output.destinations),
+            )
+        )
+        return output
+
+    def compute(self, round_number: int, inbox: Inbox, oracle_output: Any) -> RoundOutput:
+        output = self.inner.compute(round_number, inbox, oracle_output)
+        self.trace.record(
+            TraceEvent(
+                round_number=round_number,
+                pid=self._pid,
+                payload=output.payload,
+                decision=self.inner.decision(),
+                destinations=frozenset(output.destinations),
+            )
+        )
+        return output
+
+    def decision(self) -> Any:
+        return self.inner.decision()
+
+    @property
+    def proposal(self) -> Any:
+        return getattr(self.inner, "proposal", None)
+
+
+def render_trace(
+    trace: RunTrace,
+    max_rounds: Optional[int] = None,
+    column_width: int = 24,
+) -> str:
+    """Render the trace as a round-by-process table.
+
+    ``✓`` marks a decided process; the cell shows its outgoing message
+    (type, estimate, timestamp, and ``MA`` when majApproved is set).
+    """
+    rounds = trace.rounds()
+    if max_rounds is not None:
+        rounds = rounds[:max_rounds]
+    if not rounds:
+        return "(empty trace)"
+    pids = sorted(
+        {pid for round_number in rounds for pid in trace.events[round_number]}
+    )
+    header = f"{'rnd':>4} " + " ".join(f"{f'p{pid}':<{column_width}}" for pid in pids)
+    lines = [header, "-" * len(header)]
+    for round_number in rounds:
+        row = [f"{round_number:>4} "]
+        for pid in pids:
+            event = trace.events[round_number].get(pid)
+            cell = event.describe() if event is not None else "(crashed)"
+            row.append(f"{cell:<{column_width}}")
+        lines.append(" ".join(row))
+    decisions = trace.decisions()
+    if decisions:
+        summary = ", ".join(
+            f"p{pid}@r{rnd}={value!r}"
+            for pid, (rnd, value) in sorted(decisions.items())
+        )
+        lines.append(f"decisions: {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Timing models: ES, eventual LM, eventual WLM (new), eventual AFM.
+
+A *timing model* restricts which messages must be timely during stable
+periods.  Following the paper's Section 4.1, all communication of one round
+is an ``n x n`` 0/1 matrix ``A`` with rows indexed by destination and
+columns by source: ``A[d, s] = 1`` iff the round-``k`` message of ``p_s``
+reaches ``p_d`` within round ``k``.  A model is a predicate over such
+matrices; a round *satisfies* the model if its matrix does.
+
+- :mod:`matrix` — matrix conventions and constructors.
+- :mod:`properties` — the four predicates plus the j-source/j-destination
+  building blocks.
+- :mod:`repair` — minimally edit a sampled matrix so it satisfies a model
+  (used to force stability from a chosen GSR in lockstep runs).
+- :mod:`registry` — one metadata record per model: predicate, decision
+  rounds of its fastest algorithm, leader requirements.
+- :mod:`gsr` — locate stabilization (GSR, decision windows) in a trace.
+"""
+
+from repro.models.matrix import (
+    full_matrix,
+    empty_matrix,
+    iid_matrix,
+    majority,
+    validate_matrix,
+)
+from repro.models.properties import (
+    is_j_source,
+    is_j_destination,
+    satisfies_es,
+    satisfies_lm,
+    satisfies_wlm,
+    satisfies_afm,
+)
+from repro.models.registry import TimingModel, MODELS, get_model, model_names
+from repro.models.repair import repair_to_satisfy
+from repro.models.gsr import first_satisfying_window, gsr_of_trace
+
+__all__ = [
+    "full_matrix",
+    "empty_matrix",
+    "iid_matrix",
+    "majority",
+    "validate_matrix",
+    "is_j_source",
+    "is_j_destination",
+    "satisfies_es",
+    "satisfies_lm",
+    "satisfies_wlm",
+    "satisfies_afm",
+    "TimingModel",
+    "MODELS",
+    "get_model",
+    "model_names",
+    "repair_to_satisfy",
+    "first_satisfying_window",
+    "gsr_of_trace",
+]

@@ -1,0 +1,108 @@
+"""Locating stabilization in a trace of round matrices.
+
+Two notions are used by the evaluation:
+
+- **GSR of a trace** — the first round from which *every* remaining round
+  satisfies the model (the paper's Global Stabilization Round, evaluated
+  over a finite trace).
+- **First satisfying window** — from a given start round, the first run of
+  ``c`` consecutive satisfying rounds.  This is how Section 5.3 measures
+  decision time: from each random starting point, consensus under model
+  ``M`` with a ``c``-round algorithm completes at the end of the first
+  ``c``-window of ``M``-satisfying rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.models.registry import TimingModel, get_model
+
+
+def _satisfaction_vector(
+    matrices: Sequence[np.ndarray],
+    model: TimingModel | str,
+    leader: Optional[int] = None,
+    correct: Optional[Iterable[int]] = None,
+) -> list[bool]:
+    if isinstance(model, str):
+        model = get_model(model)
+    return [model.satisfied(matrix, leader=leader, correct=correct) for matrix in matrices]
+
+
+def gsr_of_trace(
+    matrices: Sequence[np.ndarray],
+    model: TimingModel | str,
+    leader: Optional[int] = None,
+    correct: Optional[Iterable[int]] = None,
+) -> Optional[int]:
+    """First index ``k`` such that rounds ``k..end`` all satisfy the model.
+
+    Returns ``None`` if even the final round fails the predicate (no GSR
+    within the trace).  Indices are 0-based positions in ``matrices``.
+    """
+    satisfied = _satisfaction_vector(matrices, model, leader, correct)
+    gsr: Optional[int] = None
+    for index in range(len(satisfied) - 1, -1, -1):
+        if satisfied[index]:
+            gsr = index
+        else:
+            break
+    return gsr
+
+
+def first_satisfying_window(
+    matrices: Sequence[np.ndarray],
+    model: TimingModel | str,
+    window: int,
+    start: int = 0,
+    leader: Optional[int] = None,
+    correct: Optional[Iterable[int]] = None,
+) -> Optional[int]:
+    """First index ``k >= start`` beginning ``window`` consecutive satisfying rounds.
+
+    Returns the start index of the window, or ``None`` if no such window
+    exists in the trace.  With a ``c``-round algorithm, global decision
+    happens at round ``k + window - 1``; the number of rounds consumed from
+    ``start`` is ``k + window - start``.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    if start < 0:
+        raise ValueError("start must be non-negative")
+    satisfied = _satisfaction_vector(matrices, model, leader, correct)
+    run_length = 0
+    for index in range(start, len(satisfied)):
+        run_length = run_length + 1 if satisfied[index] else 0
+        if run_length >= window:
+            return index - window + 1
+    return None
+
+
+def rounds_to_decision(
+    matrices: Sequence[np.ndarray],
+    model: TimingModel | str,
+    start: int = 0,
+    window: Optional[int] = None,
+    leader: Optional[int] = None,
+    correct: Optional[Iterable[int]] = None,
+) -> Optional[int]:
+    """Rounds consumed from ``start`` until global decision under ``model``.
+
+    This is the measured analogue of the paper's :math:`D_M`: the count of
+    rounds from ``start`` through the end of the first ``window``-length
+    satisfying run.  ``window`` defaults to the model's registered
+    ``decision_rounds``.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    if window is None:
+        window = model.decision_rounds
+    begin = first_satisfying_window(
+        matrices, model, window, start=start, leader=leader, correct=correct
+    )
+    if begin is None:
+        return None
+    return begin + window - start

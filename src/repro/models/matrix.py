@@ -1,0 +1,61 @@
+"""Round communication matrices.
+
+Convention (paper, Section 4.1): ``A`` is ``n x n``, rows are destinations,
+columns are sources; ``A[d, s] = 1`` iff the message sent by ``p_s`` in
+round ``k`` reaches ``p_d`` in round ``k``.  The diagonal is always 1: a
+process's link with itself is timely by definition and counts toward
+j-source/j-destination totals (footnote 1 of the paper).
+
+Matrices are ``numpy`` boolean arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def majority(n: int) -> int:
+    """The paper's majority threshold: ``floor(n/2) + 1``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return n // 2 + 1
+
+
+def full_matrix(n: int) -> np.ndarray:
+    """All-timely round: every entry 1."""
+    return np.ones((n, n), dtype=bool)
+
+
+def empty_matrix(n: int) -> np.ndarray:
+    """No timely deliveries except self-links."""
+    return np.eye(n, dtype=bool)
+
+
+def iid_matrix(n: int, p: float, rng: np.random.Generator) -> np.ndarray:
+    """Sample a matrix with IID Bernoulli(``p``) entries, diagonal forced to 1.
+
+    This is the Section 4 link model: each off-diagonal entry is timely
+    independently with probability ``p``.  (The analysis does not treat the
+    self-link specially, but a real process always has its own message; the
+    closed forms in :mod:`repro.analysis.equations` follow the paper and
+    use all ``n^2`` entries where the paper does.)
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    matrix = rng.random((n, n)) < p
+    np.fill_diagonal(matrix, True)
+    return matrix
+
+
+def validate_matrix(matrix: np.ndarray, n: Optional[int] = None) -> None:
+    """Raise ``ValueError`` unless ``matrix`` is a valid round matrix."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"round matrix must be square, got shape {matrix.shape}")
+    if n is not None and matrix.shape[0] != n:
+        raise ValueError(f"expected {n} processes, matrix has {matrix.shape[0]}")
+    if matrix.dtype != bool:
+        raise ValueError(f"round matrix must be boolean, got dtype {matrix.dtype}")
+    if not bool(np.all(np.diagonal(matrix))):
+        raise ValueError("self-links must be timely (diagonal must be all ones)")

@@ -1,0 +1,112 @@
+"""Round-based timeliness predicates.
+
+The building blocks are the paper's Section 2 properties:
+
+- ``p`` is a *j-source* in round ``k`` if there are ``j`` processes to
+  which it has timely outgoing links (its own link counts; recipients need
+  not be correct).
+- A correct ``p`` is a *j-destination* in round ``k`` if it has ``j``
+  timely incoming links from correct processes (again counting itself).
+
+A round satisfies a model if the required per-process properties all hold
+for that round's matrix.  ``correct`` defaults to "everyone", which is the
+relevant case: the paper evaluates stable periods, where by definition no
+process fails.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.models.matrix import majority
+
+
+def _correct_indices(n: int, correct: Optional[Iterable[int]]) -> np.ndarray:
+    if correct is None:
+        return np.arange(n)
+    indices = np.asarray(sorted(set(correct)), dtype=int)
+    if indices.size == 0:
+        raise ValueError("correct set must not be empty")
+    if indices.min() < 0 or indices.max() >= n:
+        raise ValueError(f"correct set {indices} out of range for n={n}")
+    return indices
+
+
+def is_j_source(matrix: np.ndarray, pid: int, j: int) -> bool:
+    """Does ``pid`` have timely outgoing links to at least ``j`` processes?
+
+    Recipients' correctness is irrelevant (paper, Section 2), so the whole
+    column is counted.  The diagonal entry (self-link) is part of the count.
+    """
+    return int(np.count_nonzero(matrix[:, pid])) >= j
+
+
+def is_j_destination(
+    matrix: np.ndarray,
+    pid: int,
+    j: int,
+    correct: Optional[Iterable[int]] = None,
+) -> bool:
+    """Does ``pid`` have timely incoming links from at least ``j`` correct processes?"""
+    n = matrix.shape[0]
+    senders = _correct_indices(n, correct)
+    return int(np.count_nonzero(matrix[pid, senders])) >= j
+
+
+def satisfies_es(matrix: np.ndarray, correct: Optional[Iterable[int]] = None) -> bool:
+    """ES: all links between correct processes are timely."""
+    n = matrix.shape[0]
+    idx = _correct_indices(n, correct)
+    return bool(np.all(matrix[np.ix_(idx, idx)]))
+
+
+def satisfies_lm(
+    matrix: np.ndarray,
+    leader: int,
+    correct: Optional[Iterable[int]] = None,
+) -> bool:
+    """Eventual LM: leader is an n-source; every correct process is a
+    (majority)-destination.
+    """
+    n = matrix.shape[0]
+    idx = _correct_indices(n, correct)
+    maj = majority(n)
+    # Leader's message reaches every correct process.
+    if not bool(np.all(matrix[idx, leader])):
+        return False
+    # Every correct process hears from a majority of correct processes.
+    counts = np.count_nonzero(matrix[np.ix_(idx, idx)], axis=1)
+    return bool(np.all(counts >= maj))
+
+
+def satisfies_wlm(
+    matrix: np.ndarray,
+    leader: int,
+    correct: Optional[Iterable[int]] = None,
+) -> bool:
+    """Eventual WLM (the paper's new model): leader is an n-source and a
+    (majority)-destination.  Only the leader's row and column matter.
+    """
+    n = matrix.shape[0]
+    idx = _correct_indices(n, correct)
+    maj = majority(n)
+    if not bool(np.all(matrix[idx, leader])):
+        return False
+    return int(np.count_nonzero(matrix[leader, idx])) >= maj
+
+
+def satisfies_afm(matrix: np.ndarray, correct: Optional[Iterable[int]] = None) -> bool:
+    """Eventual AFM (simplified, per the paper): every correct process is a
+    (majority)-destination and a (majority)-source.
+    """
+    n = matrix.shape[0]
+    idx = _correct_indices(n, correct)
+    maj = majority(n)
+    in_counts = np.count_nonzero(matrix[np.ix_(idx, idx)], axis=1)
+    if not bool(np.all(in_counts >= maj)):
+        return False
+    # Sources may count arbitrary recipients (not only correct ones).
+    out_counts = np.count_nonzero(matrix[:, idx], axis=0)
+    return bool(np.all(out_counts >= maj))

@@ -1,0 +1,48 @@
+"""Network substrate: link and latency models.
+
+The paper evaluates on a real 100 Mbit LAN and on PlanetLab.  This package
+provides the simulated stand-ins (see DESIGN.md, "Substitutions"):
+
+- :mod:`base` — interfaces: per-link latency distributions and the
+  :class:`LinkModel` used by the transport.
+- :mod:`latency` — distribution building blocks (log-normal body, Pareto
+  tail, loss, load spikes, slow-node inflation).
+- :mod:`iid` — the Section 4 IID Bernoulli abstraction as a link model.
+- :mod:`lan` — an 8-node switched-LAN profile (sub-millisecond latencies,
+  one occasionally slow node, as observed in Section 5.2).
+- :mod:`planetlab` — a synthetic 8-site PlanetLab profile with the paper's
+  node set (Switzerland, Japan, California, Georgia, China, Poland, UK,
+  Sweden), heterogeneous base latencies, heavy tails, loss, and a slow
+  Poland node (Section 5.3).
+- :mod:`ping` — latency-table measurement and well-connected-leader
+  selection (how the paper "elects" its designated leader).
+"""
+
+from repro.net.base import LatencyModel, MatrixSampler
+from repro.net.iid import BernoulliLinkModel
+from repro.net.latency import (
+    LogNormalLatency,
+    TailedLatency,
+    ScaledLatency,
+    LossyLatency,
+)
+from repro.net.lan import LanProfile, lan_profile
+from repro.net.planetlab import PlanetLabProfile, planetlab_profile, PLANETLAB_SITES
+from repro.net.ping import measure_latency_table, select_leader
+
+__all__ = [
+    "LatencyModel",
+    "MatrixSampler",
+    "BernoulliLinkModel",
+    "LogNormalLatency",
+    "TailedLatency",
+    "ScaledLatency",
+    "LossyLatency",
+    "LanProfile",
+    "lan_profile",
+    "PlanetLabProfile",
+    "planetlab_profile",
+    "PLANETLAB_SITES",
+    "measure_latency_table",
+    "select_leader",
+]

@@ -1,0 +1,101 @@
+"""Interfaces of the network substrate.
+
+Two views of the same stochastic network are needed:
+
+- the event-driven transport asks for one latency at a time
+  (:class:`LatencyModel.sample_latency`, the :class:`~repro.sim.transport.LinkModel`
+  protocol);
+- the measurement experiments ask for whole *round matrices*: given a
+  timeout, which messages of a synchronized all-to-all round would arrive
+  within it (:class:`MatrixSampler`).
+
+A network profile implements both from the same per-link distributions, so
+the lockstep experiments and the event-driven round-synchronization runs
+see statistically identical networks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class LatencyModel(abc.ABC):
+    """A network: per-message latency sampling plus matrix sampling."""
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n < 2:
+            raise ValueError("need at least 2 nodes")
+        self.n = n
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
+        """Latency (seconds) of one message, or ``None`` if it is lost.
+
+        ``now`` is the send time; profiles with time-varying behaviour
+        (load spikes, slow windows) use it.
+        """
+
+    def sample_round_latencies(self, now: float) -> np.ndarray:
+        """An ``n x n`` matrix of latencies for one all-to-all round.
+
+        Entry ``[dst, src]`` is the latency of the message ``src`` sends to
+        ``dst`` at time ``now``; lost messages appear as ``+inf``; the
+        diagonal is 0 (self-delivery is immediate).
+        """
+        latencies = np.zeros((self.n, self.n))
+        for src in range(self.n):
+            for dst in range(self.n):
+                if src == dst:
+                    continue
+                sample = self.sample_latency(src, dst, now)
+                latencies[dst, src] = np.inf if sample is None else sample
+        return latencies
+
+    def reseed(self, seed: int) -> None:
+        """Reset the random state (used to start a new independent run)."""
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+
+class MatrixSampler:
+    """Turns a :class:`LatencyModel` into a stream of timely-delivery matrices.
+
+    Rounds are back-to-back windows of length ``timeout`` (the Section 5
+    setting: each round lasts the timeout, and a message is "considered to
+    arrive in a communication round if its latency is less than the
+    timeout").
+    """
+
+    def __init__(self, model: LatencyModel, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.model = model
+        self.timeout = timeout
+        self._round = 0
+
+    def next_matrix(self) -> np.ndarray:
+        """The timely matrix of the next round (diagonal always true)."""
+        now = self._round * self.timeout
+        self._round += 1
+        latencies = self.model.sample_round_latencies(now)
+        matrix = latencies < self.timeout
+        np.fill_diagonal(matrix, True)
+        return matrix
+
+    def sample_trace(self, rounds: int) -> list[np.ndarray]:
+        """Matrices for the next ``rounds`` rounds."""
+        return [self.next_matrix() for _ in range(rounds)]
+
+    def sample_latency_trace(self, rounds: int) -> list[np.ndarray]:
+        """Raw latency matrices (for p-vs-timeout curves, Figure 1(d))."""
+        traces = []
+        for _ in range(rounds):
+            now = self._round * self.timeout
+            self._round += 1
+            traces.append(self.model.sample_round_latencies(now))
+        return traces

@@ -1,0 +1,190 @@
+"""A vectorized heterogeneous network model.
+
+Both concrete profiles (LAN, PlanetLab) are instances of one parametric
+model: per-link log-normal bodies with Pareto tail excursions, per-link
+loss, and per-node periodic slow windows that inflate *incoming* latency
+(the paper's slow nodes were "slow to receive messages, although most of
+the messages [they] sent arrived on time").
+
+Latency of the message ``src -> dst`` sent at time ``now``::
+
+    lost                with prob  loss[dst, src]
+    base[dst, src] * exp(sigma[dst, src] * N(0,1))
+                  * (1 + Pareto(tail_shape))   with prob tail[dst, src]
+                  * slow_factor[dst]           if dst is in a slow window
+
+Whole rounds are sampled with vectorized numpy operations, which keeps the
+33-runs-by-300-rounds WAN sweeps fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.net.base import LatencyModel
+
+
+@dataclass(frozen=True)
+class SlowWindows:
+    """Periodic slowness of one node.
+
+    During a ``duty`` fraction of every ``period`` seconds (offset by
+    ``phase``) the node is *slow*, in one of two modes:
+
+    - ``mode="scale"``: each affected message is — independently, with
+      probability ``per_message_prob`` — multiplied by ``factor``.
+      ``direction`` selects which links suffer (``"in"``: slow to
+      receive, the WAN's Poland; ``"out"``; or ``"both"``).
+
+    - ``mode="queue"``: the node processes *incoming* messages one at a
+      time; within a round burst, the message arriving at rank ``r``
+      (0 = earliest) gets an extra ``queue_unit * r`` of delay.  This is
+      the LAN's "occasionally slow" machine, and it explains the paper's
+      leader-choice observations structurally: the *well-connected*
+      leader's message arrives first and pays nothing; "hear from a
+      majority" needs rank ``majority-2`` to be timely; a poorly
+      connected leader's message arrives last and pays the most.
+    """
+
+    factor: float = 1.0
+    period: float = 1.0
+    duty: float = 0.0
+    phase: float = 0.0
+    per_message_prob: float = 1.0
+    direction: str = "in"
+    mode: str = "scale"
+    queue_unit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out", "both"):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if self.mode not in ("scale", "queue"):
+            raise ValueError(f"bad mode {self.mode!r}")
+        if not 0.0 <= self.per_message_prob <= 1.0:
+            raise ValueError("per_message_prob must be a probability")
+        if self.mode == "queue" and self.queue_unit <= 0:
+            raise ValueError("queue mode needs a positive queue_unit")
+
+    def active(self, now: float) -> bool:
+        position = ((now + self.phase) % self.period) / self.period
+        return position < self.duty
+
+
+class HeterogeneousNetwork(LatencyModel):
+    """Parametric per-link latency model; see the module docstring."""
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        sigma: np.ndarray,
+        tail_prob: np.ndarray,
+        tail_shape: float = 1.3,
+        loss_prob: Optional[np.ndarray] = None,
+        slow_nodes: Optional[dict[int, SlowWindows]] = None,
+        seed: int = 0,
+    ) -> None:
+        base = np.asarray(base, dtype=float)
+        n = base.shape[0]
+        super().__init__(n, seed)
+        if base.shape != (n, n):
+            raise ValueError("base latency matrix must be square")
+        if np.any(base[~np.eye(n, dtype=bool)] <= 0):
+            raise ValueError("off-diagonal base latencies must be positive")
+        self.base = base
+        self.sigma = np.broadcast_to(np.asarray(sigma, dtype=float), (n, n)).copy()
+        self.tail_prob = np.broadcast_to(
+            np.asarray(tail_prob, dtype=float), (n, n)
+        ).copy()
+        self.tail_shape = tail_shape
+        if loss_prob is None:
+            loss_prob = np.zeros((n, n))
+        self.loss_prob = np.broadcast_to(
+            np.asarray(loss_prob, dtype=float), (n, n)
+        ).copy()
+        self.slow_nodes = dict(slow_nodes or {})
+
+    # ------------------------------------------------------------------
+    # Single-message path (event-driven transport).
+    # ------------------------------------------------------------------
+    def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
+        rng = self._rng
+        if rng.random() < self.loss_prob[dst, src]:
+            return None
+        latency = self.base[dst, src] * float(
+            np.exp(self.sigma[dst, src] * rng.standard_normal())
+        )
+        if rng.random() < self.tail_prob[dst, src]:
+            latency *= 1.0 + float(rng.pareto(self.tail_shape))
+        for node, role in ((dst, "in"), (src, "out")):
+            slow = self.slow_nodes.get(node)
+            if slow is None or not slow.active(now):
+                continue
+            if slow.mode == "queue":
+                if role == "in":
+                    latency += slow.queue_unit * self._expected_rank(src, dst)
+                continue
+            if slow.direction not in (role, "both"):
+                continue
+            if rng.random() < slow.per_message_prob:
+                latency *= slow.factor
+        return latency
+
+    def _expected_rank(self, src: int, dst: int) -> int:
+        """Approximate arrival rank of ``src``'s message at ``dst`` within
+        an all-to-all round burst: its position when the senders are
+        ordered by base latency into ``dst``.  Used by the single-message
+        path, where the rest of the burst is not observable; the
+        whole-round path ranks the actual sampled latencies instead."""
+        bases = self.base[dst]
+        competitors = [
+            other
+            for other in range(self.n)
+            if other not in (dst, src) and bases[other] < bases[src]
+        ]
+        return len(competitors)
+
+    # ------------------------------------------------------------------
+    # Whole-round path (vectorized; used by the measurement sweeps).
+    # ------------------------------------------------------------------
+    def sample_round_latencies(self, now: float) -> np.ndarray:
+        rng = self._rng
+        n = self.n
+        latencies = self.base * np.exp(self.sigma * rng.standard_normal((n, n)))
+        tails = rng.random((n, n)) < self.tail_prob
+        if np.any(tails):
+            latencies[tails] *= 1.0 + rng.pareto(self.tail_shape, size=int(tails.sum()))
+        for node, slow in self.slow_nodes.items():
+            if not slow.active(now):
+                continue
+            if slow.mode == "queue":
+                # Rank this round's actual arrivals at the slow node and
+                # delay each by its queue position (earliest pays nothing).
+                incoming = [
+                    src for src in range(n) if src != node
+                ]
+                order = sorted(incoming, key=lambda src: latencies[node, src])
+                for rank, src in enumerate(order):
+                    latencies[node, src] += slow.queue_unit * rank
+                continue
+            affected = np.zeros((n, n), dtype=bool)
+            if slow.direction in ("in", "both"):
+                affected[node, :] = True
+            if slow.direction in ("out", "both"):
+                affected[:, node] = True
+            if slow.per_message_prob < 1.0:
+                affected &= rng.random((n, n)) < slow.per_message_prob
+            latencies[affected] *= slow.factor
+        losses = rng.random((n, n)) < self.loss_prob
+        latencies[losses] = np.inf
+        np.fill_diagonal(latencies, 0.0)
+        return latencies
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by leader selection and tests.
+    # ------------------------------------------------------------------
+    def mean_rtt(self) -> np.ndarray:
+        """Approximate mean round-trip time per (i, j) pair, from bases."""
+        return self.base + self.base.T

@@ -1,0 +1,50 @@
+"""The Section 4 IID Bernoulli abstraction as a link model.
+
+Each message is independently timely with probability ``p``.  For the
+event-driven transport, "timely" means a latency uniform in
+``[0, timeout)`` and "late" means a latency stretched beyond the timeout
+(up to ``late_factor`` timeouts), so the same model serves both lockstep
+matrix sampling and the round-synchronization runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.net.base import LatencyModel
+
+
+class BernoulliLinkModel(LatencyModel):
+    """IID links: timely with probability ``p`` relative to ``timeout``."""
+
+    def __init__(
+        self,
+        n: int,
+        p: float,
+        timeout: float,
+        seed: int = 0,
+        late_factor: float = 4.0,
+        loss_prob: float = 0.0,
+    ) -> None:
+        super().__init__(n, seed)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be a probability")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if late_factor <= 1.0:
+            raise ValueError("late_factor must exceed 1")
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ValueError("loss_prob must be a probability")
+        self.p = p
+        self.timeout = timeout
+        self.late_factor = late_factor
+        self.loss_prob = loss_prob
+
+    def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
+        if self.loss_prob and self._rng.random() < self.loss_prob:
+            return None
+        if self._rng.random() < self.p:
+            return float(self._rng.random() * self.timeout)
+        return float(self.timeout * (1.0 + self._rng.random() * (self.late_factor - 1.0)))

@@ -1,0 +1,166 @@
+"""Latency distribution building blocks.
+
+Real network latency has a well-documented shape [4, 6]: a narrow body
+around the propagation delay and a heavy upper tail (queueing, retries,
+scheduling).  Profiles compose per-link distributions from:
+
+- :class:`LogNormalLatency` — the body: multiplicative jitter around a
+  median.
+- :class:`TailedLatency` — with some probability, replace the sample by a
+  Pareto-distributed excursion (the "orders of magnitude longer than the
+  usual latency" maxima the paper cites).
+- :class:`LossyLatency` — drop a message entirely with some probability.
+- :class:`ScaledLatency` — multiply another distribution (slow nodes,
+  load windows).
+
+All values are in seconds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class LatencyDistribution(abc.ABC):
+    """One directed link's latency distribution."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
+        """One latency sample, or ``None`` for a lost message."""
+
+
+class ConstantLatency(LatencyDistribution):
+    """A degenerate distribution (useful in tests)."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latency must be non-negative")
+        self.value = value
+
+    def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
+        return self.value
+
+
+class LogNormalLatency(LatencyDistribution):
+    """Log-normal latency: ``median * exp(sigma * N(0,1))``.
+
+    ``sigma`` around 0.05-0.2 reproduces the tight bodies measured on both
+    LANs and WAN paths.
+    """
+
+    def __init__(self, median: float, sigma: float) -> None:
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median = median
+        self.sigma = sigma
+
+    def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
+        return float(self.median * np.exp(self.sigma * rng.standard_normal()))
+
+
+class TailedLatency(LatencyDistribution):
+    """Wraps a body distribution with a Pareto upper tail.
+
+    With probability ``tail_prob`` the sample becomes
+    ``body_sample * (1 + Pareto(shape))`` — a multiplicative excursion with
+    unbounded support, matching the observation that WAN maxima exceed the
+    typical latency by orders of magnitude.
+    """
+
+    def __init__(
+        self, body: LatencyDistribution, tail_prob: float, shape: float = 1.2
+    ) -> None:
+        if not 0.0 <= tail_prob <= 1.0:
+            raise ValueError("tail_prob must be a probability")
+        if shape <= 0:
+            raise ValueError("Pareto shape must be positive")
+        self.body = body
+        self.tail_prob = tail_prob
+        self.shape = shape
+
+    def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
+        sample = self.body.sample(rng, now)
+        if sample is None:
+            return None
+        if rng.random() < self.tail_prob:
+            sample *= 1.0 + float(rng.pareto(self.shape))
+        return sample
+
+
+class LossyLatency(LatencyDistribution):
+    """Drops a message with probability ``loss_prob`` (UDP loss)."""
+
+    def __init__(self, inner: LatencyDistribution, loss_prob: float) -> None:
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ValueError("loss_prob must be a probability")
+        self.inner = inner
+        self.loss_prob = loss_prob
+
+    def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
+        if rng.random() < self.loss_prob:
+            return None
+        return self.inner.sample(rng, now)
+
+
+class ScaledLatency(LatencyDistribution):
+    """Multiplies another distribution by a constant factor (slow node)."""
+
+    def __init__(self, inner: LatencyDistribution, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.inner = inner
+        self.factor = factor
+
+    def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
+        sample = self.inner.sample(rng, now)
+        if sample is None:
+            return None
+        return sample * self.factor
+
+
+class WindowedSlowdown(LatencyDistribution):
+    """Inflates latency during pseudo-random time windows.
+
+    Models the paper's observation that a node is *occasionally* slow: for
+    deterministic, seed-independent reproducibility the slow windows are a
+    fixed periodic pattern — ``duty`` fraction of every ``period`` seconds,
+    offset by ``phase`` — during which samples are multiplied by
+    ``factor``.
+    """
+
+    def __init__(
+        self,
+        inner: LatencyDistribution,
+        factor: float,
+        period: float,
+        duty: float,
+        phase: float = 0.0,
+    ) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+        self.inner = inner
+        self.factor = factor
+        self.period = period
+        self.duty = duty
+        self.phase = phase
+
+    def in_slow_window(self, now: float) -> bool:
+        position = ((now + self.phase) % self.period) / self.period
+        return position < self.duty
+
+    def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
+        sample = self.inner.sample(rng, now)
+        if sample is None:
+            return None
+        if self.in_slow_window(now):
+            sample *= self.factor
+        return sample

@@ -1,0 +1,74 @@
+"""Ping measurement and leader selection.
+
+Before its experiments, the paper measures the average latency between
+every pair of nodes with pings; the resulting tables ``L_i[j]`` drive both
+the round-synchronization protocol (Section 5.1) and the choice of a
+well-connected node as the designated leader (Sections 5.2-5.3 — the UK
+node in the WAN runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.base import LatencyModel
+
+
+def measure_latency_table(
+    model: LatencyModel, pings: int = 20, start_time: float = 0.0
+) -> np.ndarray:
+    """Measure typical one-way latencies by repeated pings.
+
+    Returns the ``n x n`` matrix ``L`` with ``L[i, j]`` the *median*
+    latency from ``j`` to ``i`` over ``pings`` samples (lost pings count
+    as ``+inf``; a link losing most pings gets ``+inf``).  The diagonal
+    is 0.  The paper uses the average ping latency; the median is the
+    robust equivalent — WAN latency tails are heavy enough (maxima orders
+    of magnitude above the typical latency [4, 6]) that a mean over a few
+    dozen pings is dominated by a single excursion.
+
+    The measurement consumes randomness from the model, like real pings
+    consume wall-clock time before the experiment starts.
+    """
+    if pings < 1:
+        raise ValueError("need at least one ping")
+    n = model.n
+    samples = np.full((pings, n, n), np.inf)
+    for k in range(pings):
+        now = start_time + 0.1 * k
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                sample = model.sample_latency(src, dst, now)
+                if sample is not None:
+                    samples[k, dst, src] = sample
+    table = np.median(samples, axis=0)
+    np.fill_diagonal(table, 0.0)
+    return table
+
+
+def select_leader(latency_table: np.ndarray, method: str = "mean_rtt") -> int:
+    """Choose a well-connected node from a measured latency table.
+
+    Methods:
+        ``"mean_rtt"`` — the node minimizing its average round-trip time to
+        the others (the paper's criterion: a "well-connected node").
+        ``"minimax_rtt"`` — the node minimizing its worst round-trip time.
+        ``"median"`` — the node of *median* connectivity, used to pick the
+        deliberately average leader of the Section 5.2 comparison.
+    """
+    n = latency_table.shape[0]
+    rtt = latency_table + latency_table.T
+    off_diag = ~np.eye(n, dtype=bool)
+    if method == "mean_rtt":
+        scores = np.array([rtt[i][off_diag[i]].mean() for i in range(n)])
+        return int(np.argmin(scores))
+    if method == "minimax_rtt":
+        scores = np.array([rtt[i][off_diag[i]].max() for i in range(n)])
+        return int(np.argmin(scores))
+    if method == "median":
+        scores = np.array([rtt[i][off_diag[i]].mean() for i in range(n)])
+        order = np.argsort(scores)
+        return int(order[n // 2])
+    raise ValueError(f"unknown leader-selection method {method!r}")

@@ -1,0 +1,35 @@
+"""Leader oracles (Ω) and leader election policies.
+
+The GIRAF-level oracle interfaces live in :mod:`repro.giraf.oracle`; this
+package re-exports them and adds the *election policies* of the paper's
+evaluation:
+
+- the paper designates a fixed, measured-to-be-well-connected node as the
+  leader for all runs (UK on PlanetLab), relying on leader-stability
+  results [24, 1, 16] — :func:`ping_elected_oracle` reproduces exactly
+  that: ping, pick, fix;
+- an intentionally *average* leader for the Section 5.2 comparison.
+"""
+
+from repro.giraf.oracle import (
+    Oracle,
+    NullOracle,
+    FixedLeaderOracle,
+    EventuallyStableLeaderOracle,
+    RotatingLeaderOracle,
+    ScriptedOracle,
+)
+from repro.oracles.election import ping_elected_oracle, average_leader_oracle
+from repro.oracles.omega import HeartbeatOmega
+
+__all__ = [
+    "HeartbeatOmega",
+    "Oracle",
+    "NullOracle",
+    "FixedLeaderOracle",
+    "EventuallyStableLeaderOracle",
+    "RotatingLeaderOracle",
+    "ScriptedOracle",
+    "ping_elected_oracle",
+    "average_leader_oracle",
+]

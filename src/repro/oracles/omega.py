@@ -1,0 +1,74 @@
+"""An implementable Ω failure detector driven by observed deliveries.
+
+The paper treats Ω as given, citing linear-message implementations
+[22, 24] and stable-election results [1, 16]; its analysis deliberately
+excludes election cost because "the same leader may persist for numerous
+instances of consensus".  This module provides the implementation those
+citations stand for, at the abstraction GIRAF uses:
+
+:class:`HeartbeatOmega` watches which processes' messages actually arrive
+(the runner reports each round's delivery matrix through
+:meth:`observe`) and trusts the smallest-id process heard within the last
+``suspicion_rounds`` rounds.  Properties:
+
+- **Eventual agreement**: once the system stabilizes and some correct
+  process's messages reach everyone each round (true under ES/◊LM/◊WLM
+  for the leader, and eventually for the min-id correct process under
+  any model where it is a source), all processes converge on one leader.
+- **Crash detection**: a crashed leader stops being heard and is dropped
+  after ``suspicion_rounds`` rounds, after which the next process takes
+  over — exercising consensus through leader re-election.
+- **Stability**: the output changes only when the current leader goes
+  quiet or a smaller-id process reappears, matching the stable-election
+  goal of [1, 24].
+
+The detector is *local*: each process's view depends only on its own row
+of the delivery matrices, as a real implementation's would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.giraf.oracle import Oracle
+
+
+class HeartbeatOmega(Oracle):
+    """Ω from observed heartbeats: trust the smallest-id recently-heard process."""
+
+    def __init__(self, n: int, suspicion_rounds: int = 3) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        if suspicion_rounds < 1:
+            raise ValueError("suspicion_rounds must be at least 1")
+        self.n = n
+        self.suspicion_rounds = suspicion_rounds
+        # last_heard[dst, src] = last round in which dst heard src.
+        self._last_heard = np.zeros((n, n), dtype=int)
+        self._round = 0
+
+    def observe(self, round_number: int, delivered: np.ndarray) -> None:
+        """Feed one round's delivery matrix (``delivered[dst, src]``).
+
+        The lockstep runner calls this at the end of every round; each
+        process always "hears" itself.
+        """
+        if delivered.shape != (self.n, self.n):
+            raise ValueError("delivery matrix has wrong shape")
+        self._round = max(self._round, round_number)
+        heard = delivered.copy()
+        np.fill_diagonal(heard, True)
+        self._last_heard[heard] = round_number
+
+    def trusted(self, pid: int, round_number: int) -> int:
+        """The smallest-id process ``pid`` heard within the suspicion window."""
+        horizon = round_number - self.suspicion_rounds
+        alive = np.flatnonzero(self._last_heard[pid] >= horizon)
+        if alive.size == 0:
+            return pid  # heard nobody recently — trust self
+        return int(alive[0])
+
+    def query(self, pid: int, round_number: int) -> int:
+        return self.trusted(pid, round_number)

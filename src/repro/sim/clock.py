@@ -1,0 +1,55 @@
+"""Per-process clocks with offset and drift.
+
+The round-synchronization protocol of the paper's Section 5.1 exists
+precisely because WAN nodes do not share a clock.  To exercise it honestly,
+every simulated process reads time through a :class:`Clock` that maps the
+simulator's global time to a skewed, drifting local time.
+
+The mapping is affine: ``local = offset + (1 + drift) * global``.  Drift is
+expressed as a rate error (e.g. ``1e-5`` means the local clock gains 10
+microseconds per second), which is the magnitude real quartz oscillators
+exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Clock:
+    """An affine local clock.
+
+    Attributes:
+        offset: local time at global time zero (seconds).
+        drift: rate error; the local clock advances ``1 + drift`` local
+            seconds per global second.  Must be greater than ``-1`` so the
+            clock always moves forward.
+    """
+
+    offset: float = 0.0
+    drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.drift <= -1.0:
+            raise ValueError(f"drift {self.drift} would freeze or reverse the clock")
+
+    def local_time(self, global_time: float) -> float:
+        """Local reading at the given global simulation time."""
+        return self.offset + (1.0 + self.drift) * global_time
+
+    def global_time(self, local_time: float) -> float:
+        """Inverse mapping: global instant at which the clock reads ``local_time``."""
+        return (local_time - self.offset) / (1.0 + self.drift)
+
+    def local_duration(self, global_duration: float) -> float:
+        """How long ``global_duration`` appears to last on this clock."""
+        return (1.0 + self.drift) * global_duration
+
+    def global_duration(self, local_duration: float) -> float:
+        """How much global time passes while this clock advances ``local_duration``."""
+        return local_duration / (1.0 + self.drift)
+
+
+#: A clock with no skew and no drift — local time equals global time.
+PerfectClock = Clock(offset=0.0, drift=0.0)

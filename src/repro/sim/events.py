@@ -1,0 +1,190 @@
+"""Deterministic discrete-event queue and simulator loop.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes the order total and deterministic: two events scheduled for the same
+instant fire in scheduling order, so a run is fully reproducible from its
+seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is driven incorrectly."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which the event fires.
+        priority: tie-breaker before the sequence number; lower fires first.
+        seq: global scheduling sequence number (assigned by the queue).
+        action: zero-argument callable run when the event fires.
+        cancelled: cancelled events stay in the heap but are skipped.
+        tag: free-form label used in tests and tracing.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    tag: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            tag=tag,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class Simulator:
+    """Runs events in time order.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("hello at t=1.5"))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``.
+
+        Scheduling in the past is an error: the simulator never rewinds.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        return self._queue.push(time, action, priority=priority, tag=tag)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` after ``delay`` units of simulation time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, action, priority=priority, tag=tag)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Process events until the queue drains or a limit is hit.
+
+        Args:
+            until: stop once the next event would fire after this time.
+            max_events: stop after this many events fire in this call.
+            stop_when: checked after each event; return ``True`` to stop.
+
+        Returns:
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.action()
+                self._events_processed += 1
+                fired += 1
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def drain(self) -> None:
+        """Discard all pending events (used when tearing a run down)."""
+        self._queue = EventQueue()

@@ -1,0 +1,103 @@
+"""Point-to-point message transport over the event queue.
+
+The transport models an unreliable, unordered datagram network (the paper's
+experiments use UDP): each message independently receives a latency from the
+installed link model, or is dropped.  Messages may therefore be reordered,
+arbitrarily late, or lost — exactly the asynchronous-network assumptions of
+the paper's Section 2 — while the *timing model* properties emerge from the
+statistics of the link model, not from the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol
+
+from repro.sim.events import Simulator
+
+
+class LinkModel(Protocol):
+    """Samples per-message latency; ``None`` means the message is lost."""
+
+    def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
+        """Latency in seconds for a message from ``src`` to ``dst`` sent at ``now``."""
+        ...
+
+
+@dataclass
+class Delivery:
+    """Record of one message delivery (or drop), kept when tracing is on."""
+
+    src: int
+    dst: int
+    sent_at: float
+    latency: Optional[float]
+    payload: Any = field(repr=False, default=None)
+
+    @property
+    def lost(self) -> bool:
+        return self.latency is None
+
+    @property
+    def delivered_at(self) -> Optional[float]:
+        if self.latency is None:
+            return None
+        return self.sent_at + self.latency
+
+
+class Transport:
+    """Delivers payloads between numbered nodes through a :class:`LinkModel`.
+
+    Nodes call :meth:`register` once with their receive callback, then
+    :meth:`send`.  Local (self-addressed) messages are delivered with zero
+    latency and never lost, mirroring the paper's convention that a
+    process's link with itself is always timely.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        link_model: LinkModel,
+        trace: bool = False,
+    ) -> None:
+        self._simulator = simulator
+        self._link_model = link_model
+        self._handlers: dict[int, Callable[[int, Any], None]] = {}
+        self._trace = trace
+        self.deliveries: list[Delivery] = []
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+    def register(self, node: int, handler: Callable[[int, Any], None]) -> None:
+        """Install ``handler(src, payload)`` as the receive callback of ``node``."""
+        if node in self._handlers:
+            raise ValueError(f"node {node} already registered")
+        self._handlers[node] = handler
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to ``dst``; it may be delayed or lost."""
+        now = self._simulator.now
+        self.messages_sent += 1
+        if src == dst:
+            latency: Optional[float] = 0.0
+        else:
+            latency = self._link_model.sample_latency(src, dst, now)
+        if self._trace:
+            self.deliveries.append(
+                Delivery(src=src, dst=dst, sent_at=now, latency=latency, payload=payload)
+            )
+        if latency is None:
+            self.messages_lost += 1
+            return
+
+        def deliver() -> None:
+            handler = self._handlers.get(dst)
+            if handler is not None:
+                handler(src, payload)
+
+        self._simulator.schedule_in(latency, deliver, tag=f"deliver:{src}->{dst}")
+
+    def broadcast(self, src: int, destinations: list[int], payload: Any) -> None:
+        """Send ``payload`` to each destination (independent loss/latency)."""
+        for dst in destinations:
+            self.send(src, dst, payload)

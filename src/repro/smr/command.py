@@ -1,0 +1,36 @@
+"""Commands: the consensus value domain of the SMR layer.
+
+Consensus ``Values`` must be totally ordered (Algorithm 2's ``maxEST``
+rule relies on it); :class:`Command` orders by ``(client_id, seq, op)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Command:
+    """One client command.
+
+    Attributes:
+        client_id: issuing client (or replica, for no-ops).
+        seq: the client's sequence number — together with ``client_id``
+            this identifies the command for exactly-once application.
+        op: the operation, e.g. ``("set", "x", "1")``, ``("get", "x")``,
+            ``("del", "x")``, ``("cas", "x", "1", "2")``, ``("noop",)``.
+            Tuples of strings, so commands compare lexicographically.
+    """
+
+    client_id: int
+    seq: int
+    op: Tuple[str, ...]
+
+    def is_noop(self) -> bool:
+        return self.op == ("noop",)
+
+
+def noop(replica_id: int, slot: int) -> Command:
+    """A replica's filler proposal when it has nothing to submit."""
+    return Command(client_id=-1 - replica_id, seq=slot, op=("noop",))

@@ -1,0 +1,40 @@
+"""The replicated log: one decided command per slot."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.smr.command import Command
+
+
+class ReplicatedLog:
+    """An append-only log of decided commands.
+
+    Slots are decided in order (slot ``s`` is the ``s``-th consensus
+    instance); a slot is written exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[Command] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self._entries)
+
+    @property
+    def next_slot(self) -> int:
+        """Index of the next undecided slot."""
+        return len(self._entries)
+
+    def append(self, command: Command) -> int:
+        """Record the decided command of the next slot; returns the slot."""
+        self._entries.append(command)
+        return len(self._entries) - 1
+
+    def entry(self, slot: int) -> Optional[Command]:
+        """The command decided in ``slot``, or ``None`` if undecided."""
+        if 0 <= slot < len(self._entries):
+            return self._entries[slot]
+        return None

@@ -1,0 +1,193 @@
+"""A sequence of consensus instances inside one GIRAF round stream.
+
+:class:`repro.smr.replica.ReplicaGroup` runs one lockstep execution per
+slot — fine for analysis, but a real replicated service keeps a single
+message stream running and moves from instance to instance as decisions
+land (the paper: "the same leader may persist for numerous instances of
+consensus (possibly thousands)").  :class:`ConsensusSequence` is that
+machine:
+
+- every round message is tagged with its *instance* number and carries
+  the sender's recently decided values;
+- a process runs the inner consensus algorithm for its current instance,
+  seeing only messages of that instance;
+- when the inner algorithm decides, the process logs the value and opens
+  the next instance in the next round;
+- a process that receives messages of a *later* instance learns the
+  decisions it missed from the attached log suffix and catches up.
+
+Safety per instance is the inner algorithm's; the sequence adds only
+ordering (instance ``i`` is everywhere decided before ``i+1`` opens) and
+catch-up.  Timestamps keep working across instances because they are
+round numbers of the shared stream, which only grows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Mapping, Optional, Tuple
+
+from repro.giraf.kernel import GirafAlgorithm, Inbox, RoundOutput
+
+#: Builds the inner consensus algorithm for (pid, n, proposal).
+InnerFactory = Callable[[int, int, Any], GirafAlgorithm]
+
+#: How many trailing decisions each message carries for catch-up.
+CATCH_UP_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class SequenceMessage:
+    """The wire format: instance tag, inner payload, decided suffix."""
+
+    instance: int
+    payload: Any
+    decided_suffix: Tuple[Tuple[int, Any], ...]
+
+
+class _InstanceInbox(Inbox):
+    """A view of the outer inbox exposing one instance's inner payloads."""
+
+    def __init__(self, outer: Inbox, instance: int) -> None:
+        self._outer = outer
+        self._instance = instance
+
+    def record(self, round_number: int, sender: int, payload: Any) -> None:
+        self._outer.record(
+            round_number,
+            sender,
+            SequenceMessage(self._instance, payload, ()),
+        )
+
+    def round(self, round_number: int) -> Mapping[int, Any]:
+        return {
+            sender: message.payload
+            for sender, message in self._outer.round(round_number).items()
+            if isinstance(message, SequenceMessage)
+            and message.instance == self._instance
+            and message.payload is not None
+        }
+
+    def get(self, round_number: int, sender: int) -> Any:
+        return self.round(round_number).get(sender)
+
+    def senders(self, round_number: int) -> frozenset[int]:
+        return frozenset(self.round(round_number))
+
+
+class ConsensusSequence(GirafAlgorithm):
+    """Runs inner consensus instances back to back in one round stream."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        inner_factory: InnerFactory,
+        proposals: Optional[deque[Any]] = None,
+        filler: Any = "<noop>",
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self.inner_factory = inner_factory
+        self.proposals: deque[Any] = proposals if proposals is not None else deque()
+        self.filler = filler
+        self.instance = 0
+        self.decided_log: list[Any] = []
+        self._inner = self._new_inner()
+        self._inner_started = False
+
+    # ------------------------------------------------------------------
+    # Instance management.
+    # ------------------------------------------------------------------
+    def _next_proposal(self) -> Any:
+        if self.proposals:
+            return self.proposals[0]
+        return self.filler
+
+    def _new_inner(self) -> GirafAlgorithm:
+        return self.inner_factory(self.pid, self.n, self._next_proposal())
+
+    def _log_decision(self, instance: int, value: Any) -> None:
+        """Record instance ``instance``'s decision (instances in order)."""
+        if instance < len(self.decided_log):
+            if self.decided_log[instance] != value:
+                raise AssertionError(
+                    f"instance {instance} decided twice with different "
+                    f"values: {self.decided_log[instance]!r} vs {value!r}"
+                )
+            return
+        if instance != len(self.decided_log):
+            raise AssertionError(
+                f"decision for instance {instance} arrived before "
+                f"instance {len(self.decided_log)} completed"
+            )
+        self.decided_log.append(value)
+        if self.proposals and self.proposals[0] == value:
+            self.proposals.popleft()
+
+    def _decided_suffix(self) -> Tuple[Tuple[int, Any], ...]:
+        start = max(0, len(self.decided_log) - CATCH_UP_WINDOW)
+        return tuple(
+            (index, self.decided_log[index])
+            for index in range(start, len(self.decided_log))
+        )
+
+    def _catch_up(self, inbox: Inbox, round_number: int) -> None:
+        """Adopt decisions carried by later-instance messages, in order."""
+        suffixes: dict[int, Any] = {}
+        for message in inbox.round(round_number).values():
+            if isinstance(message, SequenceMessage):
+                for index, value in message.decided_suffix:
+                    suffixes.setdefault(index, value)
+        while len(self.decided_log) in suffixes:
+            self._log_decision(
+                len(self.decided_log), suffixes[len(self.decided_log)]
+            )
+        if len(self.decided_log) > self.instance:
+            self.instance = len(self.decided_log)
+            self._inner = self._new_inner()
+            self._inner_started = False
+
+    # ------------------------------------------------------------------
+    # GIRAF hooks.
+    # ------------------------------------------------------------------
+    def initialize(self, oracle_output: Any) -> RoundOutput:
+        inner_output = self._inner.initialize(oracle_output)
+        self._inner_started = True
+        return RoundOutput(
+            SequenceMessage(self.instance, inner_output.payload, ()),
+            inner_output.destinations,
+        )
+
+    def compute(self, round_number: int, inbox: Inbox, oracle_output: Any) -> RoundOutput:
+        # Learn decisions we missed (possibly advancing the instance).
+        self._catch_up(inbox, round_number)
+
+        view = _InstanceInbox(inbox, self.instance)
+        if self._inner_started and self._inner.decision() is None:
+            inner_output = self._inner.compute(round_number, view, oracle_output)
+        else:
+            # A freshly opened instance: its first message comes from
+            # initialize() semantics, not compute().
+            inner_output = self._inner.initialize(oracle_output)
+            self._inner_started = True
+
+        if self._inner.decision() is not None:
+            # Close this instance, open the next one next round.
+            self._log_decision(self.instance, self._inner.decision())
+            self.instance = len(self.decided_log)
+            self._inner = self._new_inner()
+            inner_output = self._inner.initialize(oracle_output)
+            self._inner_started = True
+
+        return RoundOutput(
+            SequenceMessage(
+                self.instance, inner_output.payload, self._decided_suffix()
+            ),
+            inner_output.destinations,
+        )
+
+    def decision(self) -> Any:
+        """The sequence never 'decides' as a whole; see ``decided_log``."""
+        return None

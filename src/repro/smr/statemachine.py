@@ -1,0 +1,66 @@
+"""Deterministic state machines for replication.
+
+Replicas apply the *same* commands in the *same* order, so any
+deterministic :class:`StateMachine` stays identical across replicas —
+the classic state-machine replication argument [20].
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from repro.smr.command import Command
+
+
+class StateMachine(abc.ABC):
+    """A deterministic command-application interface."""
+
+    @abc.abstractmethod
+    def apply(self, command: Command) -> Any:
+        """Apply one command and return its result."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Any:
+        """A hashable/equatable snapshot of the full state (for tests)."""
+
+
+class KVStore(StateMachine):
+    """A replicated key-value store.
+
+    Supported operations: ``("set", k, v)``, ``("get", k)``,
+    ``("del", k)``, ``("cas", k, expected, new)`` and ``("noop",)``.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, str] = {}
+        self.applied = 0
+
+    def apply(self, command: Command) -> Any:
+        op = command.op
+        self.applied += 1
+        kind = op[0]
+        if kind == "noop":
+            return None
+        if kind == "set":
+            _, key, value = op
+            self._data[key] = value
+            return None
+        if kind == "get":
+            return self._data.get(op[1])
+        if kind == "del":
+            return self._data.pop(op[1], None)
+        if kind == "cas":
+            _, key, expected, new = op
+            if self._data.get(key) == expected:
+                self._data[key] = new
+                return True
+            return False
+        raise ValueError(f"unknown operation {op!r}")
+
+    def get(self, key: str) -> Optional[str]:
+        """Read a key directly (local, possibly stale, read)."""
+        return self._data.get(key)
+
+    def snapshot(self) -> tuple:
+        return tuple(sorted(self._data.items()))

@@ -1,0 +1,257 @@
+"""Event-driven implementation of the round-synchronization protocol.
+
+One :class:`SyncedNode` per process runs GIRAF over the simulated
+transport.  The paper's two threads map onto event handlers:
+
+- the *receive* path records every arriving message and, on a
+  future-round message, notifies the round driver;
+- the *round driver* starts each round by transmitting, waits out the
+  (local-clock) timeout, then fires the end-of-round; on a future-round
+  notification it ends the round early, jumps, and shortens the joined
+  round by the expected latency ``L_i[src]``.
+
+:class:`SyncRun` wires ``n`` nodes, staggered starts and skewed clocks
+included, runs the simulator, and condenses the observations into
+per-round delivery matrices comparable with the lockstep ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.giraf.kernel import GirafAlgorithm
+from repro.giraf.oracle import Oracle
+from repro.giraf.process import GirafProcess
+from repro.sim.clock import Clock
+from repro.sim.events import Event, Simulator
+from repro.sim.transport import Transport
+
+
+@dataclass(frozen=True)
+class _Wire:
+    """What actually travels on the wire: the round number plus payload."""
+
+    round_number: int
+    payload: Any
+
+
+#: Fraction of the timeout used as the floor of a shortened (joined) round,
+#: so a latency estimate larger than the timeout cannot produce a
+#: zero-length or negative round.
+MIN_ROUND_FRACTION = 0.05
+
+
+class SyncedNode:
+    """One process running GIRAF under the Section 5.1 protocol."""
+
+    def __init__(
+        self,
+        process: GirafProcess,
+        oracle: Oracle,
+        transport: Transport,
+        simulator: Simulator,
+        clock: Clock,
+        timeout: float,
+        latency_estimates: Sequence[float],
+        start_time: float = 0.0,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        self.process = process
+        self.oracle = oracle
+        self.transport = transport
+        self.simulator = simulator
+        self.clock = clock
+        self.timeout = timeout
+        self.latency_estimates = list(latency_estimates)
+        self.start_time = start_time
+        self.max_rounds = max_rounds
+        self._timer: Optional[Event] = None
+        self.running = False
+        # Observations.
+        self.timely_receipts: dict[int, set[int]] = {}
+        self.round_starts: dict[int, float] = {}
+        self.round_ends: dict[int, float] = {}
+        self.late_messages = 0
+        self.jumps = 0
+
+        transport.register(process.pid, self._on_receive)
+        simulator.schedule(start_time, self._boot, tag=f"boot:{process.pid}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def _boot(self) -> None:
+        self.running = True
+        self.process.end_of_round(self.oracle.query(self.process.pid, 0))
+        self._begin_round(self.timeout)
+
+    def _begin_round(self, local_duration: float) -> None:
+        k = self.process.round
+        if self.max_rounds is not None and k > self.max_rounds:
+            self.running = False
+            return
+        self.round_starts[k] = self.simulator.now
+        self.timely_receipts.setdefault(k, set()).add(self.process.pid)
+        payload = self.process.outgoing_payload
+        if payload is not None:
+            wire = _Wire(k, payload)
+            for dst in sorted(self.process.send_targets()):
+                self.transport.send(self.process.pid, dst, wire)
+        duration = max(local_duration, MIN_ROUND_FRACTION * self.timeout)
+        self._timer = self.simulator.schedule_in(
+            self.clock.global_duration(duration),
+            self._on_timer,
+            tag=f"round-end:{self.process.pid}:{k}",
+        )
+
+    def _end_round(self, next_round: Optional[int] = None) -> None:
+        k = self.process.round
+        self.round_ends[k] = self.simulator.now
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.process.end_of_round(
+            self.oracle.query(self.process.pid, k), next_round=next_round
+        )
+
+    def _on_timer(self) -> None:
+        if not self.running:
+            return
+        self._timer = None
+        self._end_round()
+        self._begin_round(self.timeout)
+
+    # ------------------------------------------------------------------
+    # Receive path.
+    # ------------------------------------------------------------------
+    def _on_receive(self, src: int, wire: _Wire) -> None:
+        if not self.running:
+            return
+        self.process.receive(wire.round_number, src, wire.payload)
+        current = self.process.round
+        if wire.round_number == current:
+            self.timely_receipts.setdefault(current, set()).add(src)
+        elif wire.round_number > current:
+            # Future-round message: end this round now, join round k_j,
+            # and shorten it by the expected latency of the trigger.
+            self.jumps += 1
+            self._end_round(next_round=wire.round_number)
+            remaining = self.timeout - self.latency_estimates[src]
+            self.timely_receipts.setdefault(wire.round_number, set()).add(src)
+            self._begin_round(remaining)
+        else:
+            self.late_messages += 1
+
+
+@dataclass
+class SyncRunResult:
+    """Observations of one synchronized run.
+
+    Attributes:
+        n: number of nodes.
+        matrices: per-round timely-delivery matrices ``A[dst, src]`` for
+            rounds ``1..last_common_round`` (a process that skipped a round
+            contributes only its diagonal entry).
+        round_durations: per node, mean executed round duration (seconds).
+        jumps: per node, number of fast-forward joins.
+        late_messages: per node, messages that arrived after their round.
+        decisions: ``pid -> value`` for deciding algorithms.
+        sync_error: per round, the spread (max - min) of the nodes'
+            round-start times, in seconds — the synchronization quality.
+    """
+
+    n: int
+    matrices: list[np.ndarray] = field(default_factory=list)
+    round_durations: list[float] = field(default_factory=list)
+    jumps: list[int] = field(default_factory=list)
+    late_messages: list[int] = field(default_factory=list)
+    decisions: dict[int, Any] = field(default_factory=dict)
+    sync_error: list[float] = field(default_factory=list)
+
+
+class SyncRun:
+    """Builds and executes a full synchronized GIRAF deployment."""
+
+    def __init__(
+        self,
+        n: int,
+        algorithm_factory: Callable[[int], GirafAlgorithm],
+        oracle: Oracle,
+        transport_factory: Callable[[Simulator], Transport],
+        timeout: float,
+        latency_table: np.ndarray,
+        clocks: Optional[Sequence[Clock]] = None,
+        start_times: Optional[Sequence[float]] = None,
+        max_rounds: int = 100,
+    ) -> None:
+        self.n = n
+        self.max_rounds = max_rounds
+        self.simulator = Simulator()
+        self.transport = transport_factory(self.simulator)
+        if clocks is None:
+            clocks = [Clock() for _ in range(n)]
+        if start_times is None:
+            start_times = [0.0] * n
+        self.nodes = [
+            SyncedNode(
+                process=GirafProcess(pid, algorithm_factory(pid)),
+                oracle=oracle,
+                transport=self.transport,
+                simulator=self.simulator,
+                clock=clocks[pid],
+                timeout=timeout,
+                latency_estimates=latency_table[pid],
+                start_time=start_times[pid],
+                max_rounds=max_rounds,
+            )
+            for pid in range(n)
+        ]
+
+    def run(self, time_limit: Optional[float] = None) -> SyncRunResult:
+        """Run until every node passes ``max_rounds`` (or the time limit)."""
+        if time_limit is None:
+            # Generous default: every round at full length plus slack.
+            time_limit = (self.max_rounds + 10) * self.nodes[0].timeout * 3
+        self.simulator.run(
+            until=time_limit,
+            stop_when=lambda: all(not node.running for node in self.nodes),
+        )
+        return self._collect()
+
+    def _collect(self) -> SyncRunResult:
+        result = SyncRunResult(n=self.n)
+        last_round = min(
+            max(node.round_ends, default=0) for node in self.nodes
+        )
+        for k in range(1, last_round + 1):
+            matrix = np.eye(self.n, dtype=bool)
+            for dst, node in enumerate(self.nodes):
+                if k in node.round_ends:  # executed (not skipped) round k
+                    for src in node.timely_receipts.get(k, ()):
+                        matrix[dst, src] = True
+            result.matrices.append(matrix)
+            starts = [
+                node.round_starts[k]
+                for node in self.nodes
+                if k in node.round_starts
+            ]
+            if len(starts) == self.n:
+                result.sync_error.append(max(starts) - min(starts))
+        for node in self.nodes:
+            durations = [
+                node.round_ends[k] - node.round_starts[k]
+                for k in node.round_ends
+                if k in node.round_starts
+            ]
+            result.round_durations.append(
+                float(np.mean(durations)) if durations else 0.0
+            )
+            result.jumps.append(node.jumps)
+            result.late_messages.append(node.late_messages)
+            decision = node.process.decision()
+            if decision is not None:
+                result.decisions[node.process.pid] = decision
+        return result

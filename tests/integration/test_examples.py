@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion as a subprocess
+(exactly as a user would invoke it) and prints its headline output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "global decision round",
+    "replicated_kv_store.py": "all replicas identical: True",
+    "wan_consensus_live.py": "consensus reached on",
+    "model_shootout.py": "Paxos chases ballots linearly",
+    "wan_timeout_tuning.py": "optimal timeouts",
+    "choose_timing_model.py": "recommendation:",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_SNIPPETS[script] in completed.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

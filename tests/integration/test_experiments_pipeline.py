@@ -1,0 +1,162 @@
+"""Integration tests of the figure pipeline: run each figure function at a
+tiny scale and assert the *shape* conclusions the paper draws."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure_1a,
+    figure_1b,
+    figure_1c,
+    figure_1d,
+    figure_1e,
+    figure_1f,
+    figure_1g,
+    figure_1h,
+    figure_1i,
+    render_series,
+)
+from repro.experiments.config import SweepConfig
+from repro.experiments.figures import run_wan_sweep
+
+TINY = SweepConfig(
+    rounds_per_run=100,
+    runs=4,
+    start_points=5,
+    timeouts=(0.15, 0.17, 0.21, 0.30),
+    seed=99,
+)
+
+TINY_LAN = SweepConfig(
+    rounds_per_run=80,
+    runs=3,
+    start_points=4,
+    timeouts=(0.0001, 0.0002, 0.0005, 0.0012),
+    seed=77,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_wan_sweep(TINY)
+
+
+class TestAnalyticFigures:
+    def test_figure_1a_shape(self):
+        result = figure_1a()
+        # ES deteriorates drastically away from p=1 (rising several-fold
+        # across the panel and towering over every other model)...
+        assert result.series["ES"][0] > 5 * result.series["ES"][-1]
+        for model in ("AFM", "LM", "WLM", "WLM_SIM"):
+            assert result.series["ES"][0] > result.series[model][0]
+        # ...while the others stay in single digits at the high end.
+        for model in ("AFM", "LM", "WLM"):
+            assert result.series[model][0] < 10
+        # Simulated WLM is worse than direct everywhere.
+        for direct, simulated in zip(result.series["WLM"], result.series["WLM_SIM"]):
+            assert simulated >= direct
+
+    def test_figure_1b_shape(self):
+        result = figure_1b()
+        assert "ES" not in result.series  # dropped, as in the paper
+        p_grid = np.array(result.x)
+        afm = np.array(result.series["AFM"])
+        lm = np.array(result.series["LM"])
+        wlm = np.array(result.series["WLM"])
+        low = p_grid < 0.93
+        high = p_grid > 0.985
+        # AFM wins at low p; leader models win at high p.
+        assert (afm[low] < lm[low]).all()
+        assert (afm[low] < wlm[low]).all()
+        assert (lm[high] < afm[high]).all()
+        assert (wlm[high] < afm[high]).all()
+
+
+class TestMeasuredFigures:
+    def test_figure_1d_monotone(self, sweep):
+        result = figure_1d(sweep=sweep)
+        p_values = result.series["p"]
+        assert all(a <= b + 0.02 for a, b in zip(p_values, p_values[1:]))
+        assert p_values[0] > 0.7
+        assert p_values[-1] > 0.93
+
+    def test_figure_1e_ordering_at_short_timeouts(self, sweep):
+        result = figure_1e(sweep=sweep)
+        # At the shortest timeout: WLM >= LM >= AFM >= ES (the paper's
+        # headline ordering), with WLM clearly ahead of AFM.
+        index = 0
+        es = result.series["ES"][index]
+        afm = result.series["AFM"][index]
+        lm = result.series["LM"][index]
+        wlm = result.series["WLM"][index]
+        assert wlm > lm > afm > es
+        assert wlm > afm + 0.2
+
+    def test_figure_1e_has_confidence_intervals(self, sweep):
+        result = figure_1e(sweep=sweep)
+        for model in ("ES", "AFM", "LM", "WLM"):
+            assert f"{model}_ci_low" in result.series
+            for low, mean, high in zip(
+                result.series[f"{model}_ci_low"],
+                result.series[model],
+                result.series[f"{model}_ci_high"],
+            ):
+                assert low <= mean <= high
+
+    def test_figure_1f_lm_variance_exceeds_wlm_at_short_timeouts(self, sweep):
+        result = figure_1f(sweep=sweep)
+        # The slow-Poland effect: LM's run-to-run variance dwarfs WLM's.
+        assert result.series["LM"][0] > result.series["WLM"][0]
+
+    def test_figure_1g_rounds_decrease_with_timeout(self, sweep):
+        result = figure_1g(sweep=sweep)
+        for model in ("AFM", "LM", "WLM"):
+            series = [v for v in result.series[model] if not math.isnan(v)]
+            assert series[-1] <= series[0] + 1e-9
+
+    def test_figure_1g_wlm_floor_is_4_rounds(self, sweep):
+        result = figure_1g(sweep=sweep)
+        finite = [v for v in result.series["WLM"] if not math.isnan(v)]
+        assert min(finite) >= 4.0
+
+    def test_figure_1h_wlm_fastest_at_short_timeouts(self, sweep):
+        result = figure_1h(sweep=sweep)
+        index = 0
+        wlm = result.series["WLM"][index]
+        for other in ("ES", "AFM"):
+            value = result.series[other][index]
+            assert math.isnan(value) or value > wlm
+
+    def test_figure_1i_reports_optima(self, sweep):
+        result = figure_1i(sweep=sweep)
+        assert "optimal timeout" in result.notes
+        assert set(result.series) == {"LM", "WLM"}
+
+    def test_render_all(self, sweep):
+        for fn in (figure_1d, figure_1e, figure_1f, figure_1g, figure_1h, figure_1i):
+            text = render_series(fn(sweep=sweep))
+            assert "Figure" in text
+
+
+class TestLanFigure:
+    def test_figure_1c_shape(self):
+        result = figure_1c(TINY_LAN)
+        timeouts = np.array(result.x)
+        # ES is the hardest model at every timeout.
+        for index in range(len(timeouts)):
+            es = result.series["measured_ES"][index]
+            for name in ("measured_AFM", "measured_LM", "measured_WLM"):
+                assert es <= result.series[name][index] + 1e-9
+        # Good-leader WLM beats the average-leader variant.
+        good = np.array(result.series["measured_WLM"])
+        avg = np.array(result.series["measured_WLM_avg_leader"])
+        assert (good >= avg - 0.02).all()
+        assert good.sum() > avg.sum()
+        # Measured ES beats its IID prediction (late messages concentrate).
+        mid = len(timeouts) // 2
+        assert (
+            result.series["measured_ES"][mid]
+            >= result.series["predicted_ES"][mid] - 1e-9
+        )

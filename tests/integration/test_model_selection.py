@@ -1,0 +1,73 @@
+"""Integration tests for the model-selection API."""
+
+import math
+
+import pytest
+
+from repro.experiments import choose_timing_model
+from repro.net.planetlab import LEADER_NODE, planetlab_profile
+
+
+@pytest.fixture(scope="module")
+def wan_recommendation():
+    return choose_timing_model(
+        planetlab_profile,
+        timeouts=(0.15, 0.17, 0.20, 0.23),
+        rounds_per_run=150,
+        runs=4,
+        start_points=6,
+        seed=5,
+    )
+
+
+class TestChooseTimingModel:
+    def test_elects_the_uk_leader(self, wan_recommendation):
+        assert wan_recommendation.leader == LEADER_NODE
+
+    def test_reports_all_candidates(self, wan_recommendation):
+        assert set(wan_recommendation.reports) == {"ES", "AFM", "LM", "WLM"}
+
+    def test_recommends_wlm_on_the_wan(self, wan_recommendation):
+        """On the synthetic PlanetLab the paper's conclusion holds: the
+        linear-message ◊WLM's best time is at or near the overall best."""
+        assert wan_recommendation.chosen_model == "WLM"
+        assert "O(n)" in wan_recommendation.rationale
+
+    def test_chosen_timeout_in_the_sweep(self, wan_recommendation):
+        assert wan_recommendation.chosen_timeout in (0.15, 0.17, 0.20, 0.23)
+
+    def test_wlm_report_is_credible(self, wan_recommendation):
+        report = wan_recommendation.reports["WLM"]
+        assert report.message_complexity == "linear"
+        assert 0.3 < report.best_decision_time < 3.0
+        assert report.satisfaction_at_best > 0.7
+
+    def test_es_report_is_the_worst(self, wan_recommendation):
+        es = wan_recommendation.reports["ES"].best_decision_time
+        wlm = wan_recommendation.reports["WLM"].best_decision_time
+        assert math.isnan(es) or es > 2 * wlm
+
+    def test_summary_renders(self, wan_recommendation):
+        text = wan_recommendation.summary()
+        assert "recommendation: WLM" in text
+        assert "elected leader" in text
+
+    def test_strict_tolerance_picks_the_raw_fastest(self):
+        strict = choose_timing_model(
+            planetlab_profile,
+            timeouts=(0.17, 0.21),
+            rounds_per_run=120,
+            runs=3,
+            start_points=5,
+            seed=6,
+            linear_tolerance=0.0,
+        )
+        best = min(
+            (
+                r
+                for r in strict.reports.values()
+                if r.best_decision_time == r.best_decision_time
+            ),
+            key=lambda r: r.best_decision_time,
+        )
+        assert strict.chosen_model == best.model

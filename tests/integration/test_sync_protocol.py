@@ -1,0 +1,110 @@
+"""Integration tests for the Section 5.1 round-synchronization protocol.
+
+The paper's claims: "this algorithm achieves very fast synchronization,
+and whenever the synchronization is lost, it is immediately regained."
+"""
+
+import numpy as np
+import pytest
+
+from repro.giraf.oracle import NullOracle
+from repro.net import measure_latency_table, planetlab_profile
+from repro.net.iid import BernoulliLinkModel
+from repro.sim import Clock, Transport
+from repro.sync import HeartbeatAlgorithm, SyncRun
+
+
+def wan_sync_run(timeout=0.2, max_rounds=50, seed=11, clocks=None, starts=None,
+                 n=8):
+    profile = planetlab_profile(seed=seed)
+    table = measure_latency_table(planetlab_profile(seed=seed + 1), pings=15)
+    return SyncRun(
+        n,
+        lambda pid: HeartbeatAlgorithm(pid, n),
+        NullOracle(),
+        lambda sim: Transport(sim, profile),
+        timeout=timeout,
+        latency_table=table,
+        clocks=clocks,
+        start_times=starts,
+        max_rounds=max_rounds,
+    )
+
+
+class TestSynchronization:
+    def test_all_nodes_complete_all_rounds(self):
+        result = wan_sync_run().run()
+        assert len(result.matrices) == 50
+
+    def test_staggered_starts_synchronize_quickly(self):
+        """Nodes starting seconds apart join the common round within a few
+        jumps, after which round starts stay within one round length."""
+        starts = [0.25 * i for i in range(8)]
+        result = wan_sync_run(starts=starts, max_rounds=60).run()
+        # After warmup, the spread of round starts is below the timeout.
+        assert len(result.sync_error) > 20
+        late_phase = result.sync_error[-15:]
+        assert max(late_phase) < 0.2
+
+    def test_skewed_clocks_do_not_break_rounds(self):
+        clocks = [Clock(offset=0.1 * i, drift=2e-5 * (i - 4)) for i in range(8)]
+        result = wan_sync_run(clocks=clocks, max_rounds=60).run()
+        assert len(result.matrices) == 60
+        # Mean round duration stays near the timeout.
+        for duration in result.round_durations:
+            assert 0.15 < duration < 0.25
+
+    def test_late_starter_jumps_forward(self):
+        starts = [0.0] * 7 + [3.0]  # node 7 wakes up 15 rounds late
+        run = wan_sync_run(starts=starts, max_rounds=40)
+        result = run.run()
+        assert result.jumps[7] >= 1
+        # It still finishes the full round range with everyone.
+        assert len(result.matrices) == 40
+
+    def test_round_durations_track_timeout(self):
+        for timeout in (0.15, 0.25):
+            result = wan_sync_run(timeout=timeout, max_rounds=30).run()
+            mean = np.mean(result.round_durations)
+            assert timeout * 0.8 < mean < timeout * 1.2
+
+
+class TestMeasuredMatrices:
+    def test_delivery_fraction_reasonable(self):
+        result = wan_sync_run(timeout=0.25, max_rounds=60).run()
+        off = ~np.eye(8, dtype=bool)
+        fractions = [m[off].mean() for m in result.matrices[10:]]
+        assert 0.75 < np.mean(fractions) <= 1.0
+
+    def test_diagonal_always_true(self):
+        result = wan_sync_run(max_rounds=20).run()
+        for matrix in result.matrices:
+            assert np.diagonal(matrix).all()
+
+    def test_higher_timeout_more_deliveries(self):
+        off = ~np.eye(8, dtype=bool)
+        fractions = {}
+        for timeout in (0.15, 0.30):
+            result = wan_sync_run(timeout=timeout, max_rounds=60, seed=5).run()
+            fractions[timeout] = np.mean(
+                [m[off].mean() for m in result.matrices[10:]]
+            )
+        assert fractions[0.30] > fractions[0.15]
+
+    def test_perfect_network_perfect_matrices(self):
+        n = 5
+        model = BernoulliLinkModel(n, p=1.0, timeout=0.1, seed=0)
+        table = np.full((n, n), 0.05)
+        np.fill_diagonal(table, 0.0)
+        run = SyncRun(
+            n,
+            lambda pid: HeartbeatAlgorithm(pid, n),
+            NullOracle(),
+            lambda sim: Transport(sim, model),
+            timeout=0.1,
+            latency_table=table,
+            max_rounds=20,
+        )
+        result = run.run()
+        for matrix in result.matrices[2:]:
+            assert matrix.all()

@@ -1,0 +1,113 @@
+"""Property-based tests for the adversarial schedules."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.giraf.adversary import (
+    BurstyLossSchedule,
+    PartitionSchedule,
+    TargetedSilenceSchedule,
+)
+
+
+@st.composite
+def partition_world(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    pids = list(range(n))
+    cut = draw(st.integers(min_value=1, max_value=n - 1)) if n > 1 else 1
+    groups = [tuple(pids[:cut]), tuple(pids[cut:])]
+    heal = draw(st.integers(min_value=1, max_value=15))
+    seed = draw(st.integers(0, 2**31))
+    return n, groups, heal, seed
+
+
+@given(world=partition_world())
+@settings(max_examples=100)
+def test_partition_blocks_cross_group_until_heal(world):
+    n, groups, heal, seed = world
+    schedule = PartitionSchedule(n, groups, heal_round=heal, seed=seed)
+    group_of = {}
+    for index, group in enumerate(groups):
+        for pid in group:
+            group_of[pid] = index
+    for k in {1, heal - 1} - {0}:
+        if k >= heal:
+            continue  # heal == 1 means the partition never manifests
+        matrix = schedule.matrix(k)
+        for dst in range(n):
+            for src in range(n):
+                if src != dst and group_of[src] != group_of[dst]:
+                    assert not matrix[dst, src]
+    healed = schedule.matrix(heal)
+    assert healed.all()
+
+
+@given(world=partition_world(), p=st.floats(0.0, 1.0))
+@settings(max_examples=50)
+def test_partition_intra_group_rate(world, p):
+    n, groups, heal, seed = world
+    schedule = PartitionSchedule(
+        n, groups, heal_round=heal, intra_group_p=p, seed=seed
+    )
+    matrix = schedule.matrix(1)
+    assert np.diagonal(matrix).all()
+    if p == 1.0:
+        for group in groups:
+            for src in group:
+                for dst in group:
+                    assert matrix[dst, src]
+
+
+@given(
+    n=st.integers(2, 8),
+    calm=st.integers(1, 10),
+    burst=st.integers(0, 6),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=100)
+def test_bursty_phase_structure(n, calm, burst, seed):
+    schedule = BurstyLossSchedule(
+        n, calm_rounds=calm, burst_rounds=burst, calm_p=1.0, burst_p=0.0,
+        seed=seed,
+    )
+    period = calm + burst
+    off = ~np.eye(n, dtype=bool)
+    for k in range(1, 3 * period + 1):
+        in_burst = (k - 1) % period >= calm
+        assert schedule.in_burst(k) == in_burst
+        matrix = schedule.matrix(k)
+        if in_burst:
+            assert not matrix[off].any()
+        else:
+            assert matrix[off].all()
+
+
+@given(
+    n=st.integers(2, 8),
+    until=st.integers(1, 10),
+    direction=st.sampled_from(["in", "out", "both"]),
+)
+@settings(max_examples=100)
+def test_targeted_silence_scope(n, until, direction):
+    victim = n - 1
+    schedule = TargetedSilenceSchedule(
+        n, victim=victim, until_round=until, direction=direction
+    )
+    before = schedule.matrix(max(1, until - 1)) if until > 1 else None
+    after = schedule.matrix(until)
+    assert after.all()
+    if before is None:
+        return
+    others = [pid for pid in range(n) if pid != victim]
+    if direction in ("in", "both"):
+        assert not before[victim, others].any()
+    else:
+        assert before[victim, others].all()
+    if direction in ("out", "both"):
+        assert not before[others, victim].any()
+    else:
+        assert before[others, victim].all()
+    # Everyone else communicates perfectly.
+    if len(others) > 1:
+        sub = before[np.ix_(others, others)]
+        assert sub.all()

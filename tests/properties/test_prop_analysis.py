@@ -1,0 +1,102 @@
+"""Property-based tests of the Section 4 closed forms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.equations import (
+    expected_rounds_exact,
+    expected_rounds_paper,
+    p_afm,
+    p_es,
+    p_lm,
+    p_wlm,
+    pr_majority_given_leader,
+    pr_row_majority,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+sizes = st.integers(min_value=2, max_value=16)
+
+
+@given(p=probabilities, n=sizes)
+@settings(max_examples=300)
+def test_all_p_model_values_are_probabilities(p, n):
+    for fn in (p_es, p_lm, p_wlm, p_afm, pr_majority_given_leader, pr_row_majority):
+        value = float(fn(p, n))
+        assert -1e-9 <= value <= 1 + 1e-9
+
+
+@given(p=st.floats(min_value=0.01, max_value=0.99), n=sizes)
+@settings(max_examples=200)
+def test_model_hardness_ordering(p, n):
+    # The provable closed-form inequalities: ES <= LM <= WLM.  (The true
+    # P_AFM also dominates P_ES — ES implies AFM — but equation (9) is
+    # only a *lower bound* whose 2n-fold exponent double-counts the
+    # row/column overlap, so the bound itself can dip below P_ES at low p;
+    # the true-probability relation is covered by the model-predicate
+    # implication tests instead.)
+    assert float(p_es(p, n)) <= float(p_lm(p, n)) + 1e-12
+    assert float(p_lm(p, n)) <= float(p_wlm(p, n)) + 1e-12
+
+
+@given(n=sizes, p_low=probabilities, p_high=probabilities)
+@settings(max_examples=200)
+def test_p_model_monotone_in_p(n, p_low, p_high):
+    low, high = sorted((p_low, p_high))
+    for fn in (p_es, p_lm, p_wlm, p_afm):
+        assert float(fn(low, n)) <= float(fn(high, n)) + 1e-9
+
+
+@given(
+    p_model=st.floats(min_value=0.01, max_value=1.0),
+    c=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=300)
+def test_expected_rounds_bounds(p_model, c):
+    paper = float(expected_rounds_paper(p_model, c))
+    exact = float(expected_rounds_exact(p_model, c))
+    # Both at least c (cannot finish before the window completes)...
+    assert paper >= c - 1e-9
+    assert exact >= c - 1e-9
+    # ...and the paper's renewal approximation never exceeds the exact
+    # expectation.
+    assert paper <= exact + 1e-9
+
+
+@given(
+    p_model=st.floats(min_value=0.01, max_value=0.999),
+    c=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=200)
+def test_expected_rounds_decrease_with_p(p_model, c):
+    better = min(1.0, p_model + 0.05)
+    assert float(expected_rounds_paper(better, c)) <= float(
+        expected_rounds_paper(p_model, c)
+    )
+    assert float(expected_rounds_exact(better, c)) <= float(
+        expected_rounds_exact(p_model, c)
+    ) + 1e-9
+
+
+@given(n=sizes, p=st.floats(min_value=0.5, max_value=0.999))
+@settings(max_examples=100)
+def test_afm_closed_form_is_lower_bound_of_montecarlo(n, p):
+    """Equation (9) is a lower bound on the true P_AFM (rows and columns
+    are positively correlated).  Spot-check against sampling."""
+    from repro.models.properties import satisfies_afm
+
+    rng = np.random.default_rng(int(p * 1e6) + n)
+    samples = 400
+    hits = 0
+    for _ in range(samples):
+        matrix = rng.random((n, n)) < p
+        if satisfies_afm(matrix):
+            hits += 1
+    empirical = hits / samples
+    bound = float(p_afm(p, n))
+    if bound < 8 / samples:
+        return  # below the sampling noise floor; not resolvable here
+    # Allow sampling noise: the bound may exceed the estimate by at most
+    # a few standard errors.
+    standard_error = (empirical * (1 - empirical) / samples) ** 0.5
+    assert bound <= empirical + 4 * standard_error + 1e-9

@@ -1,0 +1,134 @@
+"""Property-based tests of the timing-model predicates and repair.
+
+Key structural invariants:
+
+- monotonicity: turning links on never un-satisfies a model;
+- the implication lattice ES ⇒ LM ⇒ WLM and ES ⇒ AFM;
+- repair soundness and minimality-direction (only adds links);
+- GSR/window helpers agree with brute-force scans.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.models.gsr import first_satisfying_window, gsr_of_trace
+from repro.models.matrix import majority
+from repro.models.registry import MODELS, get_model
+from repro.models.repair import repair_to_satisfy
+
+
+@st.composite
+def random_matrix(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    bits = draw(
+        st.lists(
+            st.booleans(), min_size=n * n, max_size=n * n
+        )
+    )
+    matrix = np.array(bits, dtype=bool).reshape(n, n)
+    np.fill_diagonal(matrix, True)
+    return matrix
+
+
+@st.composite
+def matrix_and_leader(draw):
+    matrix = draw(random_matrix())
+    leader = draw(st.integers(min_value=0, max_value=matrix.shape[0] - 1))
+    return matrix, leader
+
+
+@given(data=matrix_and_leader())
+@settings(max_examples=200)
+def test_monotonicity_adding_links_preserves_satisfaction(data):
+    matrix, leader = data
+    n = matrix.shape[0]
+    richer = matrix.copy()
+    # Turn on a deterministic extra batch of links.
+    richer[0, :] = True
+    richer[:, n - 1] = True
+    for name, model in MODELS.items():
+        leader_arg = leader if model.needs_leader else None
+        if model.satisfied(matrix, leader=leader_arg):
+            assert model.satisfied(richer, leader=leader_arg), name
+
+
+@given(data=matrix_and_leader())
+@settings(max_examples=200)
+def test_implication_lattice(data):
+    matrix, leader = data
+    es = MODELS["ES"].satisfied(matrix)
+    lm = MODELS["LM"].satisfied(matrix, leader=leader)
+    wlm = MODELS["WLM"].satisfied(matrix, leader=leader)
+    afm = MODELS["AFM"].satisfied(matrix)
+    if es:
+        assert lm and afm
+    if lm:
+        assert wlm
+
+
+@given(data=matrix_and_leader(), model_name=st.sampled_from(sorted(MODELS)))
+@settings(max_examples=200)
+def test_repair_sound_and_additive(data, model_name):
+    matrix, leader = data
+    model = get_model(model_name)
+    rng = np.random.default_rng(0)
+    repaired = repair_to_satisfy(matrix, model, leader=leader, rng=rng)
+    leader_arg = leader if model.needs_leader else None
+    assert model.satisfied(repaired, leader=leader_arg)
+    assert ((repaired | matrix) == repaired).all()
+
+
+@given(data=matrix_and_leader(), model_name=st.sampled_from(sorted(MODELS)))
+@settings(max_examples=100)
+def test_repair_idempotent_on_satisfying_matrices(data, model_name):
+    matrix, leader = data
+    model = get_model(model_name)
+    leader_arg = leader if model.needs_leader else None
+    if model.satisfied(matrix, leader=leader_arg):
+        repaired = repair_to_satisfy(
+            matrix, model, leader=leader, rng=np.random.default_rng(0)
+        )
+        assert (repaired == matrix).all()
+
+
+@given(
+    bits=st.lists(st.booleans(), min_size=1, max_size=40),
+    window=st.integers(min_value=1, max_value=6),
+    start=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=200)
+def test_window_finder_matches_bruteforce(bits, window, start):
+    from repro.models.matrix import empty_matrix, full_matrix
+
+    trace = [full_matrix(3) if b else empty_matrix(3) for b in bits]
+    found = first_satisfying_window(trace, "ES", window=window, start=start)
+    # Brute force.
+    expected = None
+    for begin in range(start, len(bits) - window + 1):
+        if all(bits[begin : begin + window]):
+            expected = begin
+            break
+    assert found == expected
+
+
+@given(bits=st.lists(st.booleans(), min_size=1, max_size=40))
+@settings(max_examples=200)
+def test_gsr_matches_bruteforce(bits):
+    from repro.models.matrix import empty_matrix, full_matrix
+
+    trace = [full_matrix(3) if b else empty_matrix(3) for b in bits]
+    found = gsr_of_trace(trace, "ES")
+    expected = None
+    for k in range(len(bits)):
+        if all(bits[k:]):
+            expected = k
+            break
+    assert found == expected
+
+
+@given(n=st.integers(min_value=1, max_value=60))
+def test_majority_definition(n):
+    maj = majority(n)
+    assert maj == n // 2 + 1
+    assert 2 * maj > n  # any two majorities intersect
+    assert 2 * (maj - 1) <= n  # and it is the smallest such size

@@ -1,0 +1,66 @@
+"""Appendix B's α-reducibility, measured.
+
+Lemma 12: ◊WLM ≥_α ◊LM with α(l) = 2l + 2 — simulated ◊LM round
+GSR_LM + l occurs at the latest in ◊WLM round GSR_WLM + 2l + 2.  The
+simulation logs at which GIRAF round each inner ◊LM round's compute ran;
+this test checks the bound over GSR parities and seeds.
+"""
+
+import pytest
+
+from repro.consensus import LmConsensus
+from repro.core import LmOverWlmSimulation
+from repro.giraf import (
+    FixedLeaderOracle,
+    IIDSchedule,
+    LockstepRunner,
+    StableAfterSchedule,
+)
+
+
+def run_logged(gsr, seed, n=5, rounds=30):
+    sims = []
+
+    def factory(pid):
+        sim = LmOverWlmSimulation(pid, n, LmConsensus(pid, n, (pid + 1) * 10))
+        sims.append(sim)
+        return sim
+
+    schedule = StableAfterSchedule(
+        IIDSchedule(n, p=0.1, seed=seed),
+        gsr=gsr,
+        model="WLM",
+        leader=0,
+        seed=seed + 3,
+    )
+    runner = LockstepRunner(n, factory, FixedLeaderOracle(0), schedule)
+    runner.run(max_rounds=rounds, stop_on_global_decision=False)
+    return sims
+
+
+class TestAlphaReducibility:
+    def test_two_giraf_rounds_per_lm_round(self):
+        sims = run_logged(gsr=4, seed=0)
+        for sim in sims:
+            for lm_round, giraf_round in sim.lm_round_log.items():
+                assert giraf_round == 2 * lm_round
+
+    @pytest.mark.parametrize("gsr", [4, 5, 6, 7, 8, 9])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lemma_11_simulated_gsr(self, gsr, seed):
+        """Lemma 11: GSR_LM ≤ GSR_WLM + 2, i.e. the ◊LM guarantees hold
+        from simulated round (GSR_WLM + 2) / 2 at the latest.  Observable
+        consequence (with the 3-round ◊LM algorithm inside and a stable
+        leader): the inner algorithm decides by ◊LM round GSR_LM + 2,
+        whose GIRAF time is at most GSR_WLM + 6 — one round inside the
+        7-round worst case because the stable leader saves the oracle
+        round."""
+        sims = run_logged(gsr=gsr, seed=seed, rounds=40)
+        gsr_lm = (gsr + 2 + 1) // 2  # ceil((gsr + 2) / 2)
+        for sim in sims:
+            inner = sim.inner
+            assert inner.decision() is not None
+            assert inner.decided_in_round <= gsr_lm + 2
+            giraf_time = sim.lm_round_log[inner.decided_in_round]
+            assert giraf_time == 2 * inner.decided_in_round
+            assert giraf_time <= gsr + 7

@@ -1,0 +1,119 @@
+"""Tests for the multi-instance consensus sequence (pipelined SMR).
+
+One GIRAF stream, many decisions: the stable leader persists across
+instances (the paper's justification for ignoring election cost), logs
+grow identically everywhere, and laggards catch up from piggybacked
+decision suffixes.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.consensus import LmConsensus
+from repro.core import WlmConsensus
+from repro.giraf import (
+    FixedLeaderOracle,
+    IIDSchedule,
+    LockstepRunner,
+    StableAfterSchedule,
+)
+from repro.smr import ConsensusSequence
+
+
+def run_sequence(
+    inner_cls,
+    n=5,
+    rounds=60,
+    proposals_per_process=4,
+    gsr=1,
+    p_chaos=1.0,
+    seed=0,
+    model="WLM",
+):
+    sequences = []
+
+    def factory(pid):
+        queue = deque(
+            f"cmd-{pid}-{index}" for index in range(proposals_per_process)
+        )
+        sequence = ConsensusSequence(
+            pid,
+            n,
+            lambda p, size, proposal: inner_cls(p, size, proposal),
+            proposals=queue,
+        )
+        sequences.append(sequence)
+        return sequence
+
+    schedule = StableAfterSchedule(
+        IIDSchedule(n, p=p_chaos, seed=seed),
+        gsr=gsr,
+        model=model,
+        leader=0,
+        seed=seed + 9,
+    )
+    runner = LockstepRunner(n, factory, FixedLeaderOracle(0), schedule)
+    runner.run(max_rounds=rounds, stop_on_global_decision=False)
+    return sequences
+
+
+@pytest.mark.parametrize("inner_cls", [WlmConsensus, LmConsensus])
+class TestConsensusSequence:
+    def test_many_instances_decide_in_one_stream(self, inner_cls):
+        sequences = run_sequence(inner_cls)
+        lengths = [len(s.decided_log) for s in sequences]
+        assert min(lengths) >= 5  # several instances in 60 rounds
+
+    def test_logs_agree_on_common_prefix(self, inner_cls):
+        sequences = run_sequence(inner_cls)
+        shortest = min(len(s.decided_log) for s in sequences)
+        reference = sequences[0].decided_log[:shortest]
+        for sequence in sequences[1:]:
+            assert sequence.decided_log[:shortest] == reference
+
+    def test_decided_values_are_proposals_or_filler(self, inner_cls):
+        sequences = run_sequence(inner_cls)
+        valid = {
+            f"cmd-{pid}-{index}" for pid in range(5) for index in range(4)
+        } | {"<noop>"}
+        for sequence in sequences:
+            for value in sequence.decided_log:
+                assert value in valid
+
+    def test_submitted_commands_eventually_decided(self, inner_cls):
+        sequences = run_sequence(inner_cls, rounds=120)
+        decided = set(sequences[0].decided_log)
+        # Every process's first command made it into the log.
+        for pid in range(5):
+            assert f"cmd-{pid}-0" in decided
+
+    def test_survives_chaos_then_stability(self, inner_cls):
+        sequences = run_sequence(
+            inner_cls, gsr=8, p_chaos=0.3, rounds=80, seed=3
+        )
+        shortest = min(len(s.decided_log) for s in sequences)
+        assert shortest >= 3
+        reference = sequences[0].decided_log[:shortest]
+        for sequence in sequences[1:]:
+            assert sequence.decided_log[:shortest] == reference
+
+
+class TestSequenceCatchUp:
+    def test_laggard_catches_up_from_suffixes(self):
+        """Under ◊WLM conditions only the leader's links are timely, so
+        non-leaders may miss instance transitions; the piggybacked
+        decision suffixes must keep everyone's log identical anyway."""
+        sequences = run_sequence(
+            WlmConsensus, p_chaos=0.0, gsr=1, rounds=80
+        )
+        lengths = [len(s.decided_log) for s in sequences]
+        # Progress happened and nobody is more than the catch-up window
+        # behind.
+        assert min(lengths) >= 3
+        assert max(lengths) - min(lengths) <= 8
+
+    def test_instance_counter_matches_log(self):
+        sequences = run_sequence(WlmConsensus)
+        for sequence in sequences:
+            assert sequence.instance == len(sequence.decided_log)

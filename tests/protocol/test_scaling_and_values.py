@@ -1,0 +1,90 @@
+"""Scaling and value-domain stress tests.
+
+The paper's constants (decision rounds, message complexity) are
+independent of n and of the value domain — only totality of the order on
+``Values`` is assumed.  These tests push both axes.
+"""
+
+import pytest
+
+from repro.core import WlmConsensus
+from repro.giraf import (
+    FixedLeaderOracle,
+    IIDSchedule,
+    LockstepRunner,
+    StableAfterSchedule,
+)
+from tests.conftest import assert_safety, make_consensus_run
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n", [13, 17, 25, 33])
+    def test_wlm_bound_independent_of_n(self, n):
+        """Theorem 10's GSR+4 has no n in it."""
+        gsr = 4
+        schedule = StableAfterSchedule(
+            IIDSchedule(n, p=0.2, seed=n),
+            gsr=gsr,
+            model="WLM",
+            leader=n // 2,
+        )
+        runner = LockstepRunner(
+            n,
+            lambda pid: WlmConsensus(pid, n, (pid + 1) * 10),
+            FixedLeaderOracle(n // 2),
+            schedule,
+        )
+        result = runner.run(max_rounds=gsr + 10)
+        assert_safety(result)
+        assert result.all_correct_decided
+        assert result.global_decision_round <= gsr + 4
+
+    @pytest.mark.parametrize("n", [13, 25])
+    def test_message_complexity_stays_linear(self, n):
+        schedule = StableAfterSchedule(
+            IIDSchedule(n, p=1.0, seed=0), gsr=1, model="WLM", leader=0
+        )
+        runner = LockstepRunner(
+            n,
+            lambda pid: WlmConsensus(pid, n, pid),
+            FixedLeaderOracle(0),
+            schedule,
+        )
+        result = runner.run(max_rounds=12, stop_on_global_decision=False)
+        assert all(m == 2 * (n - 1) for m in result.per_round_messages[1:])
+
+    def test_two_processes(self):
+        """n=2: the majority is 2 (both), the leader is an n-source to
+        both — the degenerate edge of every formula."""
+        result = make_consensus_run("WLM", n=2, gsr=3, leader=1)
+        assert_safety(result)
+        assert result.all_correct_decided
+
+
+class TestValueDomains:
+    @pytest.mark.parametrize(
+        "proposals",
+        [
+            ["apple", "banana", "cherry", "date", "elderberry"],
+            [(2, "x"), (1, "y"), (3, "a"), (1, "b"), (2, "c")],
+            [-5, 0, 5, 10, -10],
+            [1.5, 2.5, -0.5, 3.25, 0.0],
+        ],
+        ids=["strings", "tuples", "negative-ints", "floats"],
+    )
+    def test_any_totally_ordered_domain_works(self, proposals):
+        for name in ("WLM", "LM", "AFM"):
+            result = make_consensus_run(
+                name, n=5, gsr=5, proposals=proposals, max_rounds=100
+            )
+            assert_safety(result)
+            assert result.all_correct_decided
+            decided = next(iter(result.decisions.values()))
+            assert decided in proposals
+
+    def test_duplicate_proposals(self):
+        result = make_consensus_run(
+            "WLM", n=5, gsr=4, proposals=[7, 7, 3, 3, 7]
+        )
+        assert_safety(result)
+        assert next(iter(result.decisions.values())) in (3, 7)

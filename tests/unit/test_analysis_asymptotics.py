@@ -1,0 +1,55 @@
+"""Unit tests for the Appendix C asymptotics."""
+
+import pytest
+
+from repro.analysis.asymptotics import afm_upper_bound, expected_rounds_vs_n
+from repro.analysis.equations import expected_decision_rounds
+
+
+class TestAfmUpperBound:
+    def test_bound_decreases_to_five(self):
+        # Lemma 13: E(D_AFM) -> 5 as n -> infinity, for p > 1/2.
+        values = [afm_upper_bound(0.8, n) for n in (50, 100, 200, 400)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(5.0, abs=1e-3)
+
+    def test_bound_is_an_upper_bound_for_large_n(self):
+        # The Chernoff bound is loose for small n but must dominate the
+        # exact expectation once it is meaningful.
+        for n in (40, 60, 100):
+            exact = float(expected_decision_rounds(0.8, n, "AFM"))
+            assert afm_upper_bound(0.8, n) >= exact - 1e-9
+
+    def test_needs_p_above_half(self):
+        with pytest.raises(ValueError):
+            afm_upper_bound(0.5, 10)
+        with pytest.raises(ValueError):
+            afm_upper_bound(0.4, 10)
+
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            afm_upper_bound(0.8, 0)
+
+
+class TestDivergence:
+    def test_es_lm_wlm_diverge_with_n(self):
+        # Appendix C: for fixed p < 1, E(D) -> infinity for ES, LM and WLM.
+        sizes = (4, 8, 16, 32)
+        for model in ("ES", "LM", "WLM", "WLM_SIM"):
+            curve = expected_rounds_vs_n(0.95, sizes, model)
+            values = [curve[n] for n in sizes]
+            assert all(a < b for a, b in zip(values, values[1:])), model
+
+    def test_afm_converges_with_n(self):
+        sizes = (8, 16, 32, 64)
+        curve = expected_rounds_vs_n(0.8, sizes, "AFM")
+        values = [curve[n] for n in sizes]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(5.0, abs=0.1)
+
+    def test_es_diverges_fastest(self):
+        # ES's exponent is n², LM's n: at equal n and p, ES is far worse.
+        for n in (8, 16):
+            assert expected_decision_rounds(0.97, n, "ES") > expected_decision_rounds(
+                0.97, n, "LM"
+            )

@@ -1,0 +1,156 @@
+"""Unit tests for the Section 4 closed forms.
+
+The reference values below are the paper's own reported numbers
+(Section 4.2), which these equations must reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.equations import (
+    DECISION_ROUNDS,
+    expected_decision_rounds,
+    expected_rounds_exact,
+    expected_rounds_paper,
+    p_afm,
+    p_es,
+    p_lm,
+    p_wlm,
+    pr_majority_given_leader,
+    pr_row_majority,
+)
+
+N = 8
+
+
+class TestPModel:
+    def test_p_es_formula(self):
+        assert p_es(0.9, 4) == pytest.approx(0.9**16)
+        assert p_es(1.0, N) == 1.0
+        assert p_es(0.0, N) == 0.0
+
+    def test_pr_majority_given_leader_hand_computed(self):
+        # n = 3: given the leader entry, need >= 1 of the other 2 entries.
+        # Pr = 1 - (1-p)^2.
+        p = 0.6
+        assert pr_majority_given_leader(p, 3) == pytest.approx(1 - 0.4**2)
+
+    def test_pr_row_majority_hand_computed(self):
+        # n = 3, strict majority = 2 of 3: 3p²(1-p) + p³.
+        p = 0.7
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert pr_row_majority(p, 3) == pytest.approx(expected)
+
+    def test_p_lm_composition(self):
+        p = 0.95
+        expected = (p * pr_majority_given_leader(p, N)) ** N
+        assert p_lm(p, N) == pytest.approx(expected)
+
+    def test_p_wlm_composition(self):
+        p = 0.95
+        expected = p**N * pr_majority_given_leader(p, N)
+        assert p_wlm(p, N) == pytest.approx(expected)
+
+    def test_p_afm_composition(self):
+        p = 0.95
+        assert p_afm(p, N) == pytest.approx(pr_row_majority(p, N) ** (2 * N))
+
+    def test_all_probabilities_at_one(self):
+        for fn in (p_es, p_lm, p_wlm, p_afm):
+            if fn in (p_lm, p_wlm):
+                assert fn(1.0, N) == pytest.approx(1.0)
+            else:
+                assert fn(1.0, N) == pytest.approx(1.0)
+
+    def test_ordering_p_es_weakest(self):
+        # ES is the hardest model to satisfy; WLM the easiest leader model.
+        for p in np.linspace(0.5, 0.999, 20):
+            assert p_es(p, N) <= p_lm(p, N) + 1e-12
+            assert p_lm(p, N) <= p_wlm(p, N) + 1e-12
+            assert p_es(p, N) <= p_afm(p, N) + 1e-12
+
+    def test_vectorized_input(self):
+        grid = np.array([0.9, 0.95, 0.99])
+        out = p_wlm(grid, N)
+        assert out.shape == (3,)
+        assert (np.diff(out) > 0).all()
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            p_es(-0.1, N)
+        with pytest.raises(ValueError):
+            p_wlm(1.1, N)
+
+
+class TestExpectedRounds:
+    def test_paper_formula(self):
+        assert expected_rounds_paper(0.5, 3) == pytest.approx(1 / 0.125 + 2)
+
+    def test_exact_formula_geometric_case(self):
+        # c = 1: both reduce to 1/P.
+        assert expected_rounds_exact(0.25, 1) == pytest.approx(4.0)
+        assert expected_rounds_paper(0.25, 1) == pytest.approx(4.0)
+
+    def test_exact_at_p_one(self):
+        assert expected_rounds_exact(1.0, 5) == 5.0
+
+    def test_exact_close_to_paper_at_high_p(self):
+        # The paper's renewal approximation underestimates the exact
+        # run-length expectation, but by a bounded factor at high P —
+        # under 25% across the c values the figures use (and under 4%
+        # for P >= 0.99, where the figures actually operate).
+        for p_model in [0.9, 0.95, 0.99]:
+            for c in [3, 4, 5, 7]:
+                paper = expected_rounds_paper(p_model, c)
+                exact = expected_rounds_exact(p_model, c)
+                assert paper <= exact + 1e-9
+                assert abs(paper - exact) / exact < 0.26
+        for c in [3, 4, 5, 7]:
+            paper = expected_rounds_paper(0.99, c)
+            exact = expected_rounds_exact(0.99, c)
+            assert abs(paper - exact) / exact < 0.04
+
+
+class TestPaperHeadlineNumbers:
+    """Section 4.2's reported values, the ground truth for these formulas."""
+
+    def test_es_349_rounds_at_p097(self):
+        assert expected_decision_rounds(0.97, N, "ES") == pytest.approx(349, abs=1)
+
+    def test_wlm_direct_18_rounds_at_p092(self):
+        assert expected_decision_rounds(0.92, N, "WLM") == pytest.approx(18, abs=1)
+
+    def test_wlm_simulated_114_rounds_at_p092(self):
+        assert expected_decision_rounds(0.92, N, "WLM_SIM") == pytest.approx(114, abs=1)
+
+    def test_afm_10_rounds_at_p085(self):
+        assert expected_decision_rounds(0.85, N, "AFM") == pytest.approx(10, abs=1)
+
+    def test_lm_69_rounds_at_p085(self):
+        assert expected_decision_rounds(0.85, N, "LM") == pytest.approx(69, abs=1)
+
+    def test_simulated_always_worse_than_direct(self):
+        for p in np.linspace(0.9, 0.999, 30):
+            direct = expected_decision_rounds(p, N, "WLM")
+            simulated = expected_decision_rounds(p, N, "WLM_SIM")
+            assert simulated > direct
+
+    def test_lm_slightly_better_than_wlm(self):
+        # "even though WLM requires fewer timely links, LM is slightly
+        # better" — the n-source requirement dominates both, and 4 rounds
+        # is harder than 3.
+        for p in np.linspace(0.9, 0.999, 30):
+            assert expected_decision_rounds(p, N, "LM") <= expected_decision_rounds(
+                p, N, "WLM"
+            )
+
+    def test_decision_round_floor(self):
+        # As p -> 1, E(D) approaches the algorithm's round count.
+        for model, c in DECISION_ROUNDS.items():
+            assert expected_decision_rounds(0.999999, N, model) == pytest.approx(
+                c, rel=1e-3
+            )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            expected_decision_rounds(0.9, N, "BOGUS")

@@ -1,0 +1,83 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.ascii_chart import ascii_chart, chart_figure
+from repro.experiments.figures import FigureSeries
+
+
+class TestAsciiChart:
+    def test_contains_axes_labels_and_legend(self):
+        text = ascii_chart(
+            [0.0, 1.0, 2.0],
+            {"up": [0.0, 1.0, 2.0], "down": [2.0, 1.0, 0.0]},
+            title="T",
+            x_label="time",
+        )
+        assert "T" in text
+        assert "time" in text
+        assert "o up" in text
+        assert "x down" in text
+        assert "0" in text and "2" in text
+
+    def test_monotone_series_renders_monotone(self):
+        text = ascii_chart([0, 1, 2, 3], {"s": [0, 1, 2, 3]}, width=20, height=10)
+        rows = [line for line in text.splitlines() if "│" in line]
+        positions = []
+        for row_index, line in enumerate(rows):
+            body = line.split("│", 1)[1]
+            if "o" in body:
+                positions.append((row_index, body.index("o")))
+        # Lower rows (later in list) hold smaller y: columns must decrease
+        # as the row index grows.
+        columns = [col for _, col in positions]
+        assert columns == sorted(columns, reverse=True)
+
+    def test_nan_and_inf_become_gaps(self):
+        text = ascii_chart(
+            [0, 1, 2], {"s": [1.0, math.nan, math.inf]}, width=12, height=6
+        )
+        marks = sum(line.split("│", 1)[1].count("o")
+                    for line in text.splitlines() if "│" in line)
+        assert marks == 1
+
+    def test_log_scale_requires_positive(self):
+        text = ascii_chart(
+            [0, 1], {"s": [1.0, 1000.0]}, y_log=True, height=10
+        )
+        assert "(log)" in text
+
+    def test_constant_series_does_not_crash(self):
+        ascii_chart([0, 1], {"s": [5.0, 5.0]})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [math.nan]})
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [float(i)] * 2 for i in range(10)}
+        text = ascii_chart([0, 1], series)
+        assert "s9" in text
+
+
+class TestChartFigure:
+    def test_drops_confidence_interval_series(self):
+        result = FigureSeries(
+            figure="1e",
+            x_label="timeout",
+            x=[0.1, 0.2],
+            series={
+                "WLM": [0.9, 0.95],
+                "WLM_ci_low": [0.85, 0.9],
+                "WLM_ci_high": [0.95, 1.0],
+            },
+        )
+        text = chart_figure(result)
+        assert "WLM_ci_low" not in text
+        assert "o WLM" in text

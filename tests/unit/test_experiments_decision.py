@@ -1,0 +1,68 @@
+"""Unit tests for decision-time measurement."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.decision import decision_stats
+from repro.models.matrix import empty_matrix, full_matrix
+
+
+def trace_from_bits(bits, n=3):
+    return np.array([full_matrix(n) if b else empty_matrix(n) for b in bits])
+
+
+class TestDecisionStats:
+    def test_all_stable_trace_hits_floor(self):
+        trace = trace_from_bits([1] * 30)
+        stats = decision_stats(
+            trace, "ES", round_length=0.1, start_points=5,
+            rng=np.random.default_rng(0),
+        )
+        assert stats.mean_rounds == 3.0  # ES decision window
+        assert stats.mean_time == pytest.approx(0.3)
+        assert stats.censored == 0
+
+    def test_window_override(self):
+        trace = trace_from_bits([1] * 30)
+        stats = decision_stats(
+            trace, "ES", round_length=0.1, start_points=4, window=5,
+            rng=np.random.default_rng(0),
+        )
+        assert stats.mean_rounds == 5.0
+
+    def test_unstable_prefix_costs_rounds(self):
+        # From start 0: rounds 0-9 bad, window completes at round 12.
+        trace = trace_from_bits([0] * 10 + [1] * 20)
+        rng = np.random.default_rng(1)
+        stats = decision_stats(
+            trace, "ES", round_length=1.0, start_points=50, rng=rng
+        )
+        # Starts are uniform in the first half (0..14); any start <= 10
+        # waits for round index 12.
+        assert stats.mean_rounds > 3.0
+
+    def test_fully_unstable_trace_censors_everything(self):
+        trace = trace_from_bits([0] * 20)
+        stats = decision_stats(
+            trace, "ES", round_length=1.0, start_points=8,
+            rng=np.random.default_rng(2),
+        )
+        assert stats.censored == 8
+        assert stats.samples == 0
+        assert stats.mean_rounds != stats.mean_rounds  # NaN
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            decision_stats(
+                trace_from_bits([1, 1]), "AFM", round_length=1.0, start_points=1
+            )
+
+    def test_deterministic_with_seeded_rng(self):
+        trace = trace_from_bits([0, 1, 1, 1] * 8)
+        a = decision_stats(
+            trace, "ES", 1.0, 10, rng=np.random.default_rng(5)
+        )
+        b = decision_stats(
+            trace, "ES", 1.0, 10, rng=np.random.default_rng(5)
+        )
+        assert a == b

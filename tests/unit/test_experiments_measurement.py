@@ -1,0 +1,91 @@
+"""Unit tests for trace generation and P_M measurement."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.measurement import (
+    measured_p,
+    model_satisfaction,
+    sample_lan_trace,
+    sample_wan_trace,
+    satisfaction_vector,
+    timely_matrices,
+)
+from repro.models.matrix import empty_matrix, full_matrix
+
+
+class TestTraces:
+    def test_wan_trace_shape(self):
+        trace = sample_wan_trace(rounds=10, round_length=0.2, seed=1)
+        assert trace.shape == (10, 8, 8)
+
+    def test_lan_trace_shape(self):
+        trace = sample_lan_trace(rounds=5, round_length=0.001, seed=1)
+        assert trace.shape == (5, 8, 8)
+
+    def test_traces_deterministic(self):
+        a = sample_wan_trace(5, 0.2, seed=9)
+        b = sample_wan_trace(5, 0.2, seed=9)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = sample_wan_trace(5, 0.2, seed=1)
+        b = sample_wan_trace(5, 0.2, seed=2)
+        assert not np.allclose(a, b)
+
+
+class TestTimelyMatrices:
+    def test_threshold_and_diagonal(self):
+        trace = np.full((2, 3, 3), 0.5)
+        matrices = timely_matrices(trace, timeout=0.4)
+        off = ~np.eye(3, dtype=bool)
+        assert not matrices[0][off].any()
+        assert np.diagonal(matrices[0]).all()
+        matrices = timely_matrices(trace, timeout=0.6)
+        assert matrices.all()
+
+    def test_monotone_in_timeout(self):
+        trace = sample_wan_trace(20, 0.2, seed=3)
+        small = timely_matrices(trace, 0.15)
+        large = timely_matrices(trace, 0.30)
+        assert ((small | large) == large).all()
+
+
+class TestMeasuredP:
+    def test_excludes_diagonal(self):
+        trace = np.full((1, 3, 3), 10.0)
+        for i in range(3):
+            trace[0, i, i] = 0.0
+        assert measured_p(trace, timeout=1.0) == 0.0
+
+    def test_increases_with_timeout(self):
+        trace = sample_wan_trace(50, 0.2, seed=4)
+        assert measured_p(trace, 0.15) < measured_p(trace, 0.35)
+
+
+class TestModelSatisfaction:
+    def test_fraction_counts_rounds(self):
+        matrices = np.array([full_matrix(3), empty_matrix(3), full_matrix(3)])
+        assert model_satisfaction(matrices, "ES") == pytest.approx(2 / 3)
+
+    def test_skip_until_first_stable(self):
+        matrices = np.array(
+            [empty_matrix(3), empty_matrix(3), full_matrix(3), full_matrix(3)]
+        )
+        assert model_satisfaction(matrices, "ES") == pytest.approx(0.5)
+        assert model_satisfaction(
+            matrices, "ES", skip_until_first_stable=True
+        ) == pytest.approx(1.0)
+
+    def test_skip_with_no_stable_round_is_zero(self):
+        matrices = np.array([empty_matrix(3)] * 4)
+        assert model_satisfaction(matrices, "ES", skip_until_first_stable=True) == 0.0
+
+    def test_satisfaction_vector_leader(self):
+        m = empty_matrix(4)
+        m[:, 1] = True
+        m[1, 0] = True
+        m[1, 2] = True
+        matrices = np.array([m, empty_matrix(4)])
+        vector = satisfaction_vector(matrices, "WLM", leader=1)
+        assert vector.tolist() == [True, False]

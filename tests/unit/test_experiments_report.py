@@ -1,0 +1,68 @@
+"""Unit tests for report rendering and sweep configuration."""
+
+import pytest
+
+from repro.experiments.config import PAPER, QUICK, SweepConfig
+from repro.experiments.figures import FigureSeries
+from repro.experiments.report import render_comparison, render_series
+
+
+class TestRenderSeries:
+    def make_series(self):
+        return FigureSeries(
+            figure="1x",
+            x_label="timeout (s)",
+            x=[0.1, 0.2, 0.3],
+            series={"A": [1.0, 2.0, 3.0], "B": [0.5, float("nan"), float("inf")]},
+            notes="hello",
+        )
+
+    def test_contains_all_rows_and_columns(self):
+        text = render_series(self.make_series())
+        assert "Figure 1x" in text
+        assert "A" in text and "B" in text
+        assert "0.1" in text and "0.3" in text
+        assert "notes: hello" in text
+
+    def test_nan_and_inf_rendered(self):
+        text = render_series(self.make_series())
+        assert "-" in text
+        assert "inf" in text
+
+    def test_max_rows_subsamples(self):
+        series = FigureSeries(
+            figure="1y", x_label="p", x=list(range(100)),
+            series={"A": list(range(100))},
+        )
+        text = render_series(series, max_rows=10)
+        assert len(text.splitlines()) < 30
+
+
+class TestRenderComparison:
+    def test_rows_rendered(self):
+        text = render_comparison(
+            "headline numbers",
+            [("ES rounds at p=0.97", 349.0, 348.6)],
+        )
+        assert "headline numbers" in text
+        assert "349" in text
+        assert "348.6" in text
+
+
+class TestSweepConfig:
+    def test_paper_scale_matches_section_5(self):
+        assert PAPER.n == 8
+        assert PAPER.rounds_per_run == 300
+        assert PAPER.runs == 33
+        assert PAPER.start_points == 15
+
+    def test_quick_is_smaller(self):
+        assert QUICK.runs < PAPER.runs
+        assert QUICK.rounds_per_run < PAPER.rounds_per_run
+
+    def test_run_seed_unique_per_cell(self):
+        config = SweepConfig(timeouts=(0.1, 0.2))
+        seeds = {
+            config.run_seed(t, r) for t in range(10) for r in range(50)
+        }
+        assert len(seeds) == 500

@@ -1,0 +1,70 @@
+"""Unit tests for the figure-pipeline internals."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.figures import (
+    FigureSeries,
+    figure_1a,
+    figure_1b,
+    run_wan_sweep,
+)
+
+
+TINY = SweepConfig(
+    rounds_per_run=40, runs=2, start_points=3, timeouts=(0.16, 0.21), seed=3
+)
+
+
+class TestRunWanSweep:
+    def test_structure(self):
+        sweep = run_wan_sweep(TINY)
+        assert set(sweep.runs) == {0.16, 0.21}
+        for timeout, runs in sweep.runs.items():
+            assert len(runs) == 2
+            for run in runs:
+                assert run.matrices.shape == (40, 8, 8)
+                assert 0.0 < run.p <= 1.0
+
+    def test_deterministic_by_config_seed(self):
+        a = run_wan_sweep(TINY)
+        b = run_wan_sweep(TINY)
+        for timeout in TINY.timeouts:
+            for run_a, run_b in zip(a.runs[timeout], b.runs[timeout]):
+                assert run_a.p == run_b.p
+                assert (run_a.matrices == run_b.matrices).all()
+
+    def test_runs_are_independent(self):
+        sweep = run_wan_sweep(TINY)
+        first, second = sweep.runs[0.16]
+        assert not (first.matrices == second.matrices).all()
+
+    def test_leader_defaults_to_uk(self):
+        assert run_wan_sweep(TINY).leader == 6
+
+
+class TestAnalyticFigureGrids:
+    def test_figure_1a_custom_grid(self):
+        result = figure_1a(p_grid=[0.99, 1.0])
+        assert result.x == [0.99, 1.0]
+        assert len(result.series["ES"]) == 2
+
+    def test_figure_1b_excludes_es(self):
+        result = figure_1b(p_grid=[0.95])
+        assert "ES" not in result.series
+        assert set(result.series) == {"AFM", "LM", "WLM", "WLM_SIM"}
+
+    def test_figure_series_dataclass(self):
+        series = FigureSeries(figure="x", x_label="p", x=[1.0])
+        assert series.series == {}
+        assert series.notes == ""
+
+    def test_figure_1a_values_match_equations(self):
+        from repro.analysis.equations import expected_decision_rounds
+
+        result = figure_1a(p_grid=[0.99])
+        for model in ("ES", "AFM", "LM", "WLM", "WLM_SIM"):
+            assert result.series[model][0] == pytest.approx(
+                float(expected_decision_rounds(0.99, 8, model))
+            )

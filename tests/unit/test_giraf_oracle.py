@@ -1,0 +1,82 @@
+"""Unit tests for failure-detector oracles."""
+
+import pytest
+
+from repro.giraf.oracle import (
+    EventuallyStableLeaderOracle,
+    FixedLeaderOracle,
+    NullOracle,
+    RotatingLeaderOracle,
+    ScriptedOracle,
+)
+
+
+class TestFixedLeaderOracle:
+    def test_always_returns_leader(self):
+        oracle = FixedLeaderOracle(3)
+        assert all(oracle.query(pid, k) == 3 for pid in range(5) for k in range(10))
+
+
+class TestEventuallyStableLeaderOracle:
+    def test_stable_from_round_onward(self):
+        oracle = EventuallyStableLeaderOracle(leader=2, stable_from=5, n=4, seed=1)
+        for k in range(5, 30):
+            for pid in range(4):
+                assert oracle.query(pid, k) == 2
+
+    def test_prestability_output_in_range(self):
+        oracle = EventuallyStableLeaderOracle(leader=2, stable_from=50, n=4, seed=1)
+        for k in range(50):
+            for pid in range(4):
+                assert 0 <= oracle.query(pid, k) < 4
+
+    def test_prestability_disagrees_somewhere(self):
+        # The whole point of the pre-GSR period: oracles may disagree.
+        oracle = EventuallyStableLeaderOracle(leader=0, stable_from=100, n=8, seed=3)
+        outputs = {
+            (pid, k): oracle.query(pid, k) for pid in range(8) for k in range(50)
+        }
+        assert len(set(outputs.values())) > 1
+
+    def test_negative_stable_from_rejected(self):
+        with pytest.raises(ValueError):
+            EventuallyStableLeaderOracle(leader=0, stable_from=-1, n=3)
+
+
+class TestRotatingLeaderOracle:
+    def test_rotates_each_round(self):
+        oracle = RotatingLeaderOracle(n=3)
+        assert [oracle.query(0, k) for k in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_period_slows_rotation(self):
+        oracle = RotatingLeaderOracle(n=3, period=2)
+        assert [oracle.query(0, k) for k in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_all_processes_see_same_rotation(self):
+        oracle = RotatingLeaderOracle(n=4)
+        for k in range(8):
+            outputs = {oracle.query(pid, k) for pid in range(4)}
+            assert len(outputs) == 1
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            RotatingLeaderOracle(n=3, period=0)
+
+
+class TestScriptedOracle:
+    def test_follows_script_then_repeats_last_row(self):
+        oracle = ScriptedOracle([[0, 0], [1, 0], [2, 2]])
+        assert oracle.query(0, 0) == 0
+        assert oracle.query(0, 1) == 1
+        assert oracle.query(1, 1) == 0
+        assert oracle.query(0, 2) == 2
+        assert oracle.query(1, 99) == 2
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedOracle([])
+
+
+class TestNullOracle:
+    def test_returns_none(self):
+        assert NullOracle().query(0, 0) is None

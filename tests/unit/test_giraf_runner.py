@@ -1,0 +1,147 @@
+"""Unit tests for the lockstep runner's mechanics (not protocol logic)."""
+
+import numpy as np
+
+from repro.giraf.kernel import GirafAlgorithm, RoundOutput
+from repro.giraf.oracle import NullOracle
+from repro.giraf.runner import LockstepRunner
+from repro.giraf.schedule import CrashPlan, MatrixSchedule
+from repro.models.matrix import full_matrix, empty_matrix
+
+
+class Collector(GirafAlgorithm):
+    """Broadcasts its pid; records who it heard each round."""
+
+    def __init__(self, pid: int, n: int):
+        self.pid = pid
+        self.n = n
+        self.heard: dict[int, frozenset[int]] = {}
+
+    def initialize(self, oracle_output):
+        return RoundOutput(self.pid, frozenset(range(self.n)))
+
+    def compute(self, round_number, inbox, oracle_output):
+        self.heard[round_number] = inbox.senders(round_number)
+        return RoundOutput(self.pid, frozenset(range(self.n)))
+
+
+class DecideAtRound(GirafAlgorithm):
+    """Decides a constant at a chosen round (for runner bookkeeping tests)."""
+
+    def __init__(self, pid: int, n: int, decide_round: int):
+        self.pid = pid
+        self.n = n
+        self.decide_round = decide_round
+        self.proposal = pid
+        self._decision = None
+
+    def initialize(self, oracle_output):
+        return RoundOutput(self.pid, frozenset(range(self.n)))
+
+    def compute(self, round_number, inbox, oracle_output):
+        if round_number >= self.decide_round:
+            self._decision = 42
+        return RoundOutput(self.pid, frozenset(range(self.n)))
+
+    def decision(self):
+        return self._decision
+
+
+def make_runner(n, matrices, algorithm=Collector, crash_plan=None, **kwargs):
+    return LockstepRunner(
+        n,
+        lambda pid: algorithm(pid, n, **kwargs),
+        NullOracle(),
+        MatrixSchedule(matrices),
+        crash_plan=crash_plan,
+    )
+
+
+class TestLockstepRunner:
+    def test_full_matrix_delivers_everything(self):
+        runner = make_runner(3, [full_matrix(3)])
+        runner.run(max_rounds=3, stop_on_global_decision=False)
+        for proc in runner.processes:
+            assert proc.algorithm.heard[1] == frozenset({0, 1, 2})
+
+    def test_empty_matrix_delivers_only_self(self):
+        runner = make_runner(3, [empty_matrix(3)])
+        runner.run(max_rounds=2, stop_on_global_decision=False)
+        for proc in runner.processes:
+            assert proc.algorithm.heard[1] == frozenset({proc.pid})
+
+    def test_message_count_excludes_self(self):
+        runner = make_runner(4, [full_matrix(4)])
+        result = runner.run(max_rounds=2, stop_on_global_decision=False)
+        # 4 processes x 3 destinations x 2 rounds.
+        assert result.messages_sent == 24
+        assert result.per_round_messages == [12, 12]
+
+    def test_decision_round_recorded(self):
+        runner = make_runner(3, [full_matrix(3)], algorithm=DecideAtRound, decide_round=4)
+        result = runner.run(max_rounds=10)
+        assert result.decision_rounds == {0: 4, 1: 4, 2: 4}
+        assert result.global_decision_round == 4
+
+    def test_stops_at_global_decision(self):
+        runner = make_runner(3, [full_matrix(3)], algorithm=DecideAtRound, decide_round=2)
+        result = runner.run(max_rounds=50)
+        assert result.rounds_executed == 2
+
+    def test_extra_rounds_after_decision(self):
+        runner = make_runner(3, [full_matrix(3)], algorithm=DecideAtRound, decide_round=2)
+        result = runner.run(max_rounds=50, extra_rounds_after_decision=3)
+        assert result.rounds_executed == 5
+
+    def test_crashed_process_stops_participating(self):
+        plan = CrashPlan(crash_rounds={0: 2})
+        runner = make_runner(3, [full_matrix(3)], crash_plan=plan)
+        runner.run(max_rounds=3, stop_on_global_decision=False)
+        # Round 1: everyone hears 0.  Round 2+: nobody does.
+        assert runner.processes[1].algorithm.heard[1] == frozenset({0, 1, 2})
+        assert runner.processes[1].algorithm.heard[2] == frozenset({1, 2})
+        # The crashed process computed only round 1.
+        assert list(runner.processes[0].algorithm.heard) == [1]
+
+    def test_final_round_partial_send(self):
+        plan = CrashPlan(crash_rounds={0: 2}, final_sends={0: frozenset({1})})
+        runner = make_runner(3, [full_matrix(3)], crash_plan=plan)
+        runner.run(max_rounds=3, stop_on_global_decision=False)
+        # In its dying round 2, process 0 reached only process 1.
+        assert 0 in runner.processes[1].algorithm.heard[2]
+        assert 0 not in runner.processes[2].algorithm.heard[2]
+
+    def test_late_messages_delivered_into_original_slot(self):
+        schedule = MatrixSchedule([empty_matrix(3)], late_lag=2)
+        runner = LockstepRunner(
+            3, lambda pid: Collector(pid, 3), NullOracle(), schedule
+        )
+        runner.run(max_rounds=4, stop_on_global_decision=False)
+        proc = runner.processes[0]
+        # Round-1 messages arrived during round 3: not heard in round 1's
+        # compute, but present in the inbox slot afterwards.
+        assert proc.algorithm.heard[1] == frozenset({0})
+        assert proc.inbox.senders(1) == frozenset({0, 1, 2})
+
+    def test_correct_set_in_result(self):
+        plan = CrashPlan(crash_rounds={2: 3})
+        runner = make_runner(5, [full_matrix(5)], crash_plan=plan)
+        result = runner.run(max_rounds=2, stop_on_global_decision=False)
+        assert result.correct == frozenset({0, 1, 3, 4})
+
+    def test_sent_and_delivered_matrices_recorded(self):
+        runner = make_runner(3, [empty_matrix(3)])
+        result = runner.run(max_rounds=1, stop_on_global_decision=False)
+        assert result.sent_matrices[0].all()  # everyone attempted everyone
+        assert (result.delivered_matrices[0] == np.eye(3, dtype=bool)).all()
+
+    def test_schedule_size_mismatch_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LockstepRunner(
+                4,
+                lambda pid: Collector(pid, 4),
+                NullOracle(),
+                MatrixSchedule([full_matrix(3)]),
+            )

@@ -1,0 +1,127 @@
+"""Unit tests for delivery schedules."""
+
+import numpy as np
+import pytest
+
+from repro.giraf.schedule import (
+    CrashPlan,
+    IIDSchedule,
+    MatrixSchedule,
+    StableAfterSchedule,
+)
+from repro.models import get_model
+from repro.models.matrix import empty_matrix, full_matrix
+
+
+class TestMatrixSchedule:
+    def test_uses_given_matrices_then_repeats_last(self):
+        schedule = MatrixSchedule([empty_matrix(3), full_matrix(3)])
+        assert schedule.delivered_round(1, 0, 1) is None
+        assert schedule.delivered_round(2, 0, 1) == 2
+        assert schedule.delivered_round(99, 0, 1) == 99
+
+    def test_late_lag_delays_instead_of_dropping(self):
+        schedule = MatrixSchedule([empty_matrix(3)], late_lag=2)
+        assert schedule.delivered_round(1, 0, 1) == 3
+
+    def test_rounds_are_one_based(self):
+        schedule = MatrixSchedule([full_matrix(2)])
+        with pytest.raises(ValueError):
+            schedule.matrix(0)
+
+    def test_empty_matrix_list_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixSchedule([])
+
+    def test_non_boolean_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixSchedule([np.ones((3, 3))])
+
+
+class TestIIDSchedule:
+    def test_matrices_deterministic_per_round(self):
+        a = IIDSchedule(4, p=0.5, seed=9)
+        b = IIDSchedule(4, p=0.5, seed=9)
+        assert (a.matrix(7) == b.matrix(7)).all()
+
+    def test_different_rounds_differ(self):
+        schedule = IIDSchedule(6, p=0.5, seed=9)
+        assert not (schedule.matrix(1) == schedule.matrix(2)).all()
+
+    def test_diagonal_always_timely(self):
+        schedule = IIDSchedule(5, p=0.0, seed=0)
+        assert np.diagonal(schedule.matrix(1)).all()
+
+    def test_p_one_delivers_everything(self):
+        schedule = IIDSchedule(4, p=1.0, seed=0)
+        assert schedule.matrix(3).all()
+
+    def test_empirical_rate_near_p(self):
+        schedule = IIDSchedule(8, p=0.8, seed=1)
+        off = ~np.eye(8, dtype=bool)
+        rate = np.mean([schedule.matrix(k)[off].mean() for k in range(1, 200)])
+        assert 0.77 < rate < 0.83
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            IIDSchedule(4, p=1.5)
+
+    def test_late_lag(self):
+        schedule = IIDSchedule(4, p=0.0, seed=0, late_lag=3)
+        assert schedule.delivered_round(2, 0, 1) == 5
+
+
+class TestStableAfterSchedule:
+    @pytest.mark.parametrize("model_name", ["ES", "LM", "WLM", "AFM"])
+    def test_model_satisfied_from_gsr(self, model_name):
+        base = IIDSchedule(6, p=0.2, seed=3)
+        schedule = StableAfterSchedule(base, gsr=4, model=model_name, leader=2)
+        model = get_model(model_name)
+        leader = 2 if model.needs_leader else None
+        for k in range(4, 15):
+            assert model.satisfied(schedule.matrix(k), leader=leader)
+
+    def test_pre_gsr_rounds_untouched(self):
+        base = IIDSchedule(6, p=0.2, seed=3)
+        schedule = StableAfterSchedule(base, gsr=5, model="ES", leader=0)
+        for k in range(1, 5):
+            assert (schedule.matrix(k) == base.matrix(k)).all()
+
+    def test_repair_only_adds_links(self):
+        base = IIDSchedule(6, p=0.2, seed=3)
+        schedule = StableAfterSchedule(base, gsr=1, model="AFM")
+        for k in range(1, 10):
+            before = base.matrix(k)
+            after = schedule.matrix(k)
+            assert (after | before == after).all()  # after ⊇ before
+
+    def test_gsr_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StableAfterSchedule(IIDSchedule(4, p=0.5), gsr=0, model="ES")
+
+
+class TestCrashPlan:
+    def test_crashed_at_semantics(self):
+        plan = CrashPlan(crash_rounds={1: 3})
+        assert not plan.crashed_at(1, 2)
+        assert plan.crashed_at(1, 3)
+        assert plan.crashed_at(1, 99)
+        assert not plan.crashed_at(0, 99)
+
+    def test_correct_set(self):
+        plan = CrashPlan(crash_rounds={0: 2, 3: 5})
+        assert plan.correct(5) == frozenset({1, 2, 4})
+
+    def test_majority_crash_rejected(self):
+        plan = CrashPlan(crash_rounds={0: 1, 1: 1, 2: 1})
+        with pytest.raises(ValueError):
+            plan.validate(5)  # 3 >= ceil(5/2)
+
+    def test_validate_accepts_minority(self):
+        CrashPlan(crash_rounds={0: 1, 1: 1}).validate(5)
+
+    def test_final_round_partial_send(self):
+        plan = CrashPlan(crash_rounds={0: 2}, final_sends={0: frozenset({1})})
+        assert plan.in_final_round(0, 2)
+        assert not plan.in_final_round(0, 1)
+        assert not plan.in_final_round(0, 3)

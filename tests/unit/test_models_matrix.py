@@ -1,0 +1,76 @@
+"""Unit tests for round-matrix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.models.matrix import (
+    empty_matrix,
+    full_matrix,
+    iid_matrix,
+    majority,
+    validate_matrix,
+)
+
+
+class TestMajority:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (8, 5), (9, 5)]
+    )
+    def test_floor_half_plus_one(self, n, expected):
+        assert majority(n) == expected
+
+    def test_two_majorities_always_intersect(self):
+        # The quorum-intersection fact every proof in the paper leans on.
+        for n in range(2, 30):
+            assert 2 * majority(n) > n
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            majority(0)
+
+
+class TestConstructors:
+    def test_full_matrix(self):
+        assert full_matrix(4).all()
+
+    def test_empty_matrix_is_identity(self):
+        assert (empty_matrix(4) == np.eye(4, dtype=bool)).all()
+
+    def test_iid_matrix_diagonal_forced(self):
+        rng = np.random.default_rng(0)
+        matrix = iid_matrix(6, 0.0, rng)
+        assert (matrix == np.eye(6, dtype=bool)).all()
+
+    def test_iid_matrix_rate(self):
+        rng = np.random.default_rng(0)
+        off = ~np.eye(10, dtype=bool)
+        rates = [iid_matrix(10, 0.7, rng)[off].mean() for _ in range(200)]
+        assert 0.68 < np.mean(rates) < 0.72
+
+    def test_iid_matrix_bad_p(self):
+        with pytest.raises(ValueError):
+            iid_matrix(4, 1.2, np.random.default_rng(0))
+
+
+class TestValidateMatrix:
+    def test_accepts_valid(self):
+        validate_matrix(full_matrix(3))
+        validate_matrix(empty_matrix(3), n=3)
+
+    def test_rejects_wrong_n(self):
+        with pytest.raises(ValueError):
+            validate_matrix(full_matrix(3), n=4)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            validate_matrix(np.ones((2, 3), dtype=bool))
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(ValueError):
+            validate_matrix(np.ones((3, 3)))
+
+    def test_rejects_broken_diagonal(self):
+        matrix = full_matrix(3)
+        matrix[1, 1] = False
+        with pytest.raises(ValueError):
+            validate_matrix(matrix)

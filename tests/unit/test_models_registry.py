@@ -1,0 +1,58 @@
+"""Unit tests for the timing-model registry."""
+
+import pytest
+
+from repro.models.matrix import full_matrix
+from repro.models.registry import MODELS, get_model, model_names
+
+
+class TestRegistry:
+    def test_all_five_models_present(self):
+        assert set(model_names()) == {"ES", "LM", "WLM", "WLM_SIM", "AFM"}
+
+    def test_decision_round_counts_match_paper(self):
+        # Section 4: 3 for ES [14], 3 for LM [19], 4 for WLM (stable
+        # leader, Section 3), 7 for simulated WLM (Appendix B), 5 for AFM.
+        expected = {"ES": 3, "LM": 3, "WLM": 4, "WLM_SIM": 7, "AFM": 5}
+        for name, rounds in expected.items():
+            assert MODELS[name].decision_rounds == rounds
+
+    def test_wlm_is_the_only_linear_message_model(self):
+        linear = [m.name for m in MODELS.values() if m.stable_message_complexity == "linear"]
+        assert linear == ["WLM"]
+
+    def test_leader_requirements(self):
+        assert not MODELS["ES"].needs_leader
+        assert not MODELS["AFM"].needs_leader
+        assert MODELS["LM"].needs_leader
+        assert MODELS["WLM"].needs_leader
+        assert MODELS["WLM_SIM"].needs_leader
+
+    def test_get_model_case_insensitive(self):
+        assert get_model("wlm") is MODELS["WLM"]
+
+    def test_get_model_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_model("nope")
+
+    def test_satisfied_requires_leader_for_leader_models(self):
+        with pytest.raises(ValueError):
+            MODELS["WLM"].satisfied(full_matrix(4))
+
+    def test_satisfied_dispatch(self):
+        m = full_matrix(4)
+        assert MODELS["ES"].satisfied(m)
+        assert MODELS["AFM"].satisfied(m)
+        assert MODELS["WLM"].satisfied(m, leader=0)
+        assert MODELS["WLM_SIM"].satisfied(m, leader=0)
+
+    def test_wlm_sim_shares_wlm_predicate(self):
+        from repro.models.matrix import empty_matrix
+
+        m = empty_matrix(5)
+        m[:, 0] = True
+        m[0, 1] = True
+        m[0, 2] = True
+        assert MODELS["WLM"].satisfied(m, leader=0) == MODELS["WLM_SIM"].satisfied(
+            m, leader=0
+        )

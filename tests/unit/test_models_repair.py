@@ -1,0 +1,65 @@
+"""Unit tests for matrix repair."""
+
+import numpy as np
+import pytest
+
+from repro.models.matrix import empty_matrix, iid_matrix
+from repro.models.registry import get_model
+from repro.models.repair import repair_to_satisfy
+
+
+@pytest.mark.parametrize("model_name", ["ES", "LM", "WLM", "WLM_SIM", "AFM"])
+@pytest.mark.parametrize("p", [0.0, 0.3, 0.9])
+class TestRepair:
+    def test_repaired_matrix_satisfies_model(self, model_name, p):
+        rng = np.random.default_rng(11)
+        model = get_model(model_name)
+        for trial in range(20):
+            matrix = iid_matrix(7, p, rng)
+            repaired = repair_to_satisfy(matrix, model, leader=3, rng=rng)
+            leader = 3 if model.needs_leader else None
+            assert model.satisfied(repaired, leader=leader)
+
+    def test_repair_never_removes_links(self, model_name, p):
+        rng = np.random.default_rng(13)
+        for trial in range(20):
+            matrix = iid_matrix(7, p, rng)
+            repaired = repair_to_satisfy(matrix, model_name, leader=3, rng=rng)
+            assert ((repaired | matrix) == repaired).all()
+
+    def test_input_matrix_unmodified(self, model_name, p):
+        rng = np.random.default_rng(17)
+        matrix = iid_matrix(7, p, rng)
+        copy = matrix.copy()
+        repair_to_satisfy(matrix, model_name, leader=3, rng=rng)
+        assert (matrix == copy).all()
+
+
+class TestRepairEdges:
+    def test_leader_required_for_leader_models(self):
+        with pytest.raises(ValueError):
+            repair_to_satisfy(empty_matrix(5), "WLM")
+        with pytest.raises(ValueError):
+            repair_to_satisfy(empty_matrix(5), "LM")
+
+    def test_es_repair_fills_matrix(self):
+        repaired = repair_to_satisfy(empty_matrix(5), "ES")
+        assert repaired.all()
+
+    def test_wlm_repair_is_minimal_on_empty_matrix(self):
+        # Repairing the identity matrix to WLM should touch only the
+        # leader's row and column.
+        repaired = repair_to_satisfy(empty_matrix(7), "WLM", leader=2)
+        untouched = repaired.copy()
+        untouched[:, 2] = False
+        untouched[2, :] = False
+        np.fill_diagonal(untouched, False)
+        assert not untouched.any()
+
+    def test_already_satisfying_matrix_unchanged_for_wlm(self):
+        m = empty_matrix(5)
+        m[:, 0] = True
+        m[0, 1] = True
+        m[0, 2] = True
+        repaired = repair_to_satisfy(m, "WLM", leader=0)
+        assert (repaired == m).all()

@@ -1,0 +1,69 @@
+"""Unit tests for the Bernoulli (IID) link model."""
+
+import numpy as np
+import pytest
+
+from repro.net.base import MatrixSampler
+from repro.net.iid import BernoulliLinkModel
+
+
+class TestBernoulliLinkModel:
+    def test_timely_fraction_tracks_p(self):
+        model = BernoulliLinkModel(6, p=0.75, timeout=0.1, seed=1)
+        samples = [model.sample_latency(0, 1, 0.0) for _ in range(4000)]
+        timely = sum(s < 0.1 for s in samples)
+        assert 0.72 < timely / 4000 < 0.78
+
+    def test_late_messages_bounded_by_late_factor(self):
+        model = BernoulliLinkModel(4, p=0.0, timeout=0.1, seed=2, late_factor=3.0)
+        samples = [model.sample_latency(0, 1, 0.0) for _ in range(100)]
+        assert all(0.1 <= s <= 0.3 for s in samples)
+
+    def test_loss(self):
+        model = BernoulliLinkModel(4, p=0.5, timeout=0.1, seed=3, loss_prob=1.0)
+        assert model.sample_latency(0, 1, 0.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLinkModel(4, p=2.0, timeout=0.1)
+        with pytest.raises(ValueError):
+            BernoulliLinkModel(4, p=0.5, timeout=0.0)
+        with pytest.raises(ValueError):
+            BernoulliLinkModel(4, p=0.5, timeout=0.1, late_factor=1.0)
+        with pytest.raises(ValueError):
+            BernoulliLinkModel(1, p=0.5, timeout=0.1)
+
+
+class TestMatrixSampler:
+    def test_matrix_fraction_tracks_p(self):
+        model = BernoulliLinkModel(8, p=0.8, timeout=0.05, seed=4)
+        sampler = MatrixSampler(model, timeout=0.05)
+        off = ~np.eye(8, dtype=bool)
+        matrices = sampler.sample_trace(300)
+        rate = np.mean([m[off].mean() for m in matrices])
+        assert 0.77 < rate < 0.83
+
+    def test_diagonal_always_true(self):
+        model = BernoulliLinkModel(5, p=0.0, timeout=0.05, seed=5)
+        sampler = MatrixSampler(model, timeout=0.05)
+        assert np.diagonal(sampler.next_matrix()).all()
+
+    def test_rounds_advance_time(self):
+        # Consecutive matrices consume fresh randomness.
+        model = BernoulliLinkModel(6, p=0.5, timeout=0.05, seed=6)
+        sampler = MatrixSampler(model, timeout=0.05)
+        a, b = sampler.next_matrix(), sampler.next_matrix()
+        assert not (a == b).all()
+
+    def test_latency_trace_has_raw_values(self):
+        model = BernoulliLinkModel(4, p=1.0, timeout=0.05, seed=7)
+        sampler = MatrixSampler(model, timeout=0.05)
+        trace = sampler.sample_latency_trace(2)
+        assert len(trace) == 2
+        off = ~np.eye(4, dtype=bool)
+        assert (trace[0][off] < 0.05).all()
+
+    def test_bad_timeout_rejected(self):
+        model = BernoulliLinkModel(4, p=0.5, timeout=0.05)
+        with pytest.raises(ValueError):
+            MatrixSampler(model, timeout=0.0)

@@ -1,0 +1,127 @@
+"""Unit tests for the latency distribution building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    LossyLatency,
+    ScaledLatency,
+    TailedLatency,
+    WindowedSlowdown,
+)
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestConstantLatency:
+    def test_always_value(self):
+        dist = ConstantLatency(0.05)
+        assert all(dist.sample(rng(), 0.0) == 0.05 for _ in range(5))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestLogNormalLatency:
+    def test_median_approximately_respected(self):
+        dist = LogNormalLatency(median=0.1, sigma=0.2)
+        generator = rng()
+        samples = [dist.sample(generator, 0.0) for _ in range(4000)]
+        assert np.median(samples) == pytest.approx(0.1, rel=0.05)
+
+    def test_zero_sigma_is_constant(self):
+        dist = LogNormalLatency(median=0.1, sigma=0.0)
+        assert dist.sample(rng(), 0.0) == pytest.approx(0.1)
+
+    def test_samples_positive(self):
+        dist = LogNormalLatency(median=0.01, sigma=1.0)
+        generator = rng()
+        assert all(dist.sample(generator, 0.0) > 0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0, sigma=0.1)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.1, sigma=-0.1)
+
+
+class TestTailedLatency:
+    def test_tail_inflates_some_samples(self):
+        base = ConstantLatency(0.1)
+        dist = TailedLatency(base, tail_prob=0.5, shape=1.5)
+        generator = rng()
+        samples = [dist.sample(generator, 0.0) for _ in range(500)]
+        inflated = [s for s in samples if s > 0.1 + 1e-12]
+        assert 0.3 < len(inflated) / len(samples) < 0.7
+        assert all(s >= 0.1 for s in samples)
+
+    def test_zero_tail_prob_is_transparent(self):
+        dist = TailedLatency(ConstantLatency(0.1), tail_prob=0.0)
+        assert dist.sample(rng(), 0.0) == pytest.approx(0.1)
+
+    def test_heavy_tail_produces_large_excursions(self):
+        # "the maximal latency can be orders of magnitude longer than the
+        # usual latency" — shape near 1 gives exactly that.
+        dist = TailedLatency(ConstantLatency(0.1), tail_prob=1.0, shape=1.05)
+        generator = rng()
+        samples = [dist.sample(generator, 0.0) for _ in range(3000)]
+        assert max(samples) > 10 * 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TailedLatency(ConstantLatency(0.1), tail_prob=1.5)
+        with pytest.raises(ValueError):
+            TailedLatency(ConstantLatency(0.1), tail_prob=0.5, shape=0.0)
+
+
+class TestLossyLatency:
+    def test_loss_rate(self):
+        dist = LossyLatency(ConstantLatency(0.1), loss_prob=0.3)
+        generator = rng()
+        losses = sum(dist.sample(generator, 0.0) is None for _ in range(2000))
+        assert 0.25 < losses / 2000 < 0.35
+
+    def test_zero_loss_transparent(self):
+        dist = LossyLatency(ConstantLatency(0.1), loss_prob=0.0)
+        assert dist.sample(rng(), 0.0) == pytest.approx(0.1)
+
+
+class TestScaledLatency:
+    def test_scaling(self):
+        dist = ScaledLatency(ConstantLatency(0.1), factor=3.0)
+        assert dist.sample(rng(), 0.0) == pytest.approx(0.3)
+
+    def test_loss_passes_through(self):
+        dist = ScaledLatency(LossyLatency(ConstantLatency(0.1), 1.0), factor=2.0)
+        assert dist.sample(rng(), 0.0) is None
+
+
+class TestWindowedSlowdown:
+    def test_inflates_only_in_window(self):
+        dist = WindowedSlowdown(
+            ConstantLatency(0.1), factor=5.0, period=10.0, duty=0.3
+        )
+        generator = rng()
+        assert dist.sample(generator, 1.0) == pytest.approx(0.5)  # in window
+        assert dist.sample(generator, 5.0) == pytest.approx(0.1)  # outside
+
+    def test_phase_shifts_window(self):
+        dist = WindowedSlowdown(
+            ConstantLatency(0.1), factor=5.0, period=10.0, duty=0.3, phase=5.0
+        )
+        # position(now) = ((now + 5) mod 10) / 10.
+        assert not dist.in_slow_window(0.0)  # position 0.5 >= duty
+        assert dist.in_slow_window(6.0)  # position 0.1 < duty
+
+    def test_duty_fraction_of_time_slow(self):
+        dist = WindowedSlowdown(
+            ConstantLatency(0.1), factor=5.0, period=1.0, duty=0.25
+        )
+        times = np.linspace(0, 10, 1000)
+        slow = sum(dist.in_slow_window(t) for t in times)
+        assert 0.2 < slow / 1000 < 0.3

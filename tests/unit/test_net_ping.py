@@ -1,0 +1,65 @@
+"""Unit tests for ping tables and leader selection."""
+
+import numpy as np
+import pytest
+
+from repro.net.iid import BernoulliLinkModel
+from repro.net.ping import measure_latency_table, select_leader
+from repro.net.planetlab import LEADER_NODE, planetlab_profile
+
+
+class TestMeasureLatencyTable:
+    def test_shape_and_diagonal(self):
+        table = measure_latency_table(planetlab_profile(seed=1), pings=5)
+        assert table.shape == (8, 8)
+        assert (np.diagonal(table) == 0).all()
+
+    def test_medians_close_to_base(self):
+        profile = planetlab_profile(seed=2)
+        table = measure_latency_table(profile, pings=31)
+        off = ~np.eye(8, dtype=bool)
+        ratio = table[off] / profile.base[off]
+        # Medians should hug the base latencies despite heavy tails.
+        assert 0.8 < np.median(ratio) < 1.25
+
+    def test_needs_at_least_one_ping(self):
+        with pytest.raises(ValueError):
+            measure_latency_table(planetlab_profile(), pings=0)
+
+    def test_fully_lossy_link_is_infinite(self):
+        model = BernoulliLinkModel(4, p=1.0, timeout=0.1, loss_prob=1.0)
+        table = measure_latency_table(model, pings=5)
+        off = ~np.eye(4, dtype=bool)
+        assert np.isinf(table[off]).all()
+
+
+class TestSelectLeader:
+    def test_selects_uk_on_planetlab(self):
+        for seed in (1, 9, 42, 77):
+            table = measure_latency_table(planetlab_profile(seed=seed), pings=25)
+            assert select_leader(table) == LEADER_NODE
+
+    def test_minimax_method(self):
+        table = np.array(
+            [
+                [0.0, 1.0, 9.0],
+                [1.0, 0.0, 1.0],
+                [9.0, 1.0, 0.0],
+            ]
+        )
+        assert select_leader(table, method="minimax_rtt") == 1
+
+    def test_median_method_picks_middle(self):
+        # Node 0 best, node 2 worst, node 1 median.
+        table = np.array(
+            [
+                [0.0, 1.0, 1.0],
+                [2.0, 0.0, 2.0],
+                [8.0, 8.0, 0.0],
+            ]
+        )
+        assert select_leader(table, method="median") == 1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            select_leader(np.zeros((3, 3)), method="wat")

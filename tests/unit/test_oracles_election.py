@@ -1,0 +1,33 @@
+"""Unit tests for the election policies (ping-based leader fixing)."""
+
+from repro.giraf.oracle import FixedLeaderOracle
+from repro.net.planetlab import LEADER_NODE, planetlab_profile
+from repro.oracles import average_leader_oracle, ping_elected_oracle
+
+
+class TestPingElectedOracle:
+    def test_elects_uk_on_planetlab(self):
+        oracle, leader = ping_elected_oracle(planetlab_profile(seed=8))
+        assert leader == LEADER_NODE
+        assert isinstance(oracle, FixedLeaderOracle)
+        assert oracle.query(3, 99) == LEADER_NODE
+
+    def test_oracle_is_stable(self):
+        oracle, leader = ping_elected_oracle(planetlab_profile(seed=8))
+        outputs = {oracle.query(pid, k) for pid in range(8) for k in range(20)}
+        assert outputs == {leader}
+
+
+class TestAverageLeaderOracle:
+    def test_average_leader_differs_from_best(self):
+        _, best = ping_elected_oracle(planetlab_profile(seed=8))
+        _, average = average_leader_oracle(planetlab_profile(seed=8))
+        assert average != best
+
+    def test_average_leader_is_mid_field(self):
+        # The median-connectivity node should not be the congested China
+        # node either.
+        from repro.net.planetlab import CN
+
+        _, average = average_leader_oracle(planetlab_profile(seed=8))
+        assert average != CN

@@ -1,0 +1,47 @@
+"""Unit tests for the evaluation CLI (``python -m repro.experiments``)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.run_all import headline_numbers, main
+
+
+class TestHeadlineNumbers:
+    def test_contains_paper_values(self):
+        text = headline_numbers()
+        assert "349" in text
+        assert "E(D_WLM direct) at p=0.92" in text
+
+
+class TestMain:
+    def test_analysis_only_quick_run(self, tmp_path, monkeypatch):
+        """Run the CLI with drastically shrunken sweep configs so the test
+        stays fast, and check every artifact appears."""
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=60, runs=2, start_points=3,
+            timeouts=(0.16, 0.21), seed=1,
+        )
+        tiny_lan = SweepConfig(
+            rounds_per_run=40, runs=2, start_points=3,
+            timeouts=(0.0002, 0.0009), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny_lan)
+
+        exit_code = main(["--out", str(tmp_path), "--charts"])
+        assert exit_code == 0
+        for name in (
+            "fig1a", "fig1b", "fig1c", "fig1d", "fig1e",
+            "fig1f", "fig1g", "fig1h", "fig1i",
+        ):
+            assert (tmp_path / f"{name}.txt").exists(), name
+            assert (tmp_path / f"{name}.chart.txt").exists(), name
+        assert (tmp_path / "headline.txt").exists()
+
+    def test_bad_scale_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--scale", "galactic", "--out", str(tmp_path)])

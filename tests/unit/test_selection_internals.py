@@ -1,0 +1,56 @@
+"""Unit tests for the model-selection helpers."""
+
+import math
+
+from repro.experiments.selection import (
+    ModelReport,
+    Recommendation,
+    _format_ms,
+)
+
+
+class TestFormatMs:
+    def test_large_values_rounded(self):
+        assert _format_ms(0.73) == "730 ms"
+
+    def test_small_values_keep_precision(self):
+        assert _format_ms(0.00035) == "0.35 ms"
+
+    def test_nan_is_dash(self):
+        assert _format_ms(float("nan")) == "—"
+
+
+class TestRecommendationSummary:
+    def make(self):
+        rec = Recommendation(leader=6)
+        rec.reports["WLM"] = ModelReport(
+            model="WLM",
+            optimal_timeout=0.17,
+            best_decision_time=0.759,
+            satisfaction_at_best=0.93,
+            message_complexity="linear",
+        )
+        rec.reports["ES"] = ModelReport(
+            model="ES",
+            optimal_timeout=float("nan"),
+            best_decision_time=float("nan"),
+            satisfaction_at_best=0.0,
+            message_complexity="quadratic",
+        )
+        rec.chosen_model = "WLM"
+        rec.chosen_timeout = 0.17
+        rec.rationale = "because linear messages"
+        return rec
+
+    def test_summary_contains_reports_and_choice(self):
+        text = self.make().summary()
+        assert "elected leader: node 6" in text
+        assert "170 ms" in text
+        assert "759 ms" in text
+        assert "linear" in text
+        assert "recommendation: WLM" in text
+        assert "because linear messages" in text
+
+    def test_undecided_model_rendered_as_dash(self):
+        text = self.make().summary()
+        assert "—" in text

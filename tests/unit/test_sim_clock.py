@@ -1,0 +1,50 @@
+"""Unit tests for skewed/drifting clocks."""
+
+import pytest
+
+from repro.sim.clock import Clock, PerfectClock
+
+
+class TestClock:
+    def test_perfect_clock_is_identity(self):
+        assert PerfectClock.local_time(12.5) == 12.5
+        assert PerfectClock.global_time(12.5) == 12.5
+
+    def test_offset_shifts_local_time(self):
+        clock = Clock(offset=3.0)
+        assert clock.local_time(0.0) == 3.0
+        assert clock.local_time(10.0) == 13.0
+
+    def test_drift_scales_durations(self):
+        clock = Clock(drift=0.01)  # gains 1%
+        assert clock.local_duration(100.0) == pytest.approx(101.0)
+        assert clock.global_duration(101.0) == pytest.approx(100.0)
+
+    def test_local_and_global_are_inverses(self):
+        clock = Clock(offset=-2.5, drift=1e-4)
+        for t in [0.0, 1.0, 1234.5]:
+            assert clock.global_time(clock.local_time(t)) == pytest.approx(t)
+            assert clock.local_time(clock.global_time(t)) == pytest.approx(t)
+
+    def test_negative_drift_slows_the_clock(self):
+        clock = Clock(drift=-0.5)
+        assert clock.local_duration(10.0) == pytest.approx(5.0)
+        assert clock.global_duration(5.0) == pytest.approx(10.0)
+
+    def test_drift_at_or_below_minus_one_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(drift=-1.0)
+        with pytest.raises(ValueError):
+            Clock(drift=-2.0)
+
+    def test_clock_is_frozen(self):
+        clock = Clock(offset=1.0)
+        with pytest.raises(AttributeError):
+            clock.offset = 2.0  # type: ignore[misc]
+
+    def test_realistic_quartz_drift_over_an_hour(self):
+        # 10 ppm drift accumulates 36 ms over an hour — the reason the
+        # paper needs round synchronization at all.
+        clock = Clock(drift=1e-5)
+        skew = clock.local_time(3600.0) - 3600.0
+        assert skew == pytest.approx(0.036)

@@ -1,0 +1,155 @@
+"""Unit tests for the discrete-event queue and simulator loop."""
+
+import pytest
+
+from repro.sim.events import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(1.0, lambda lbl=label: order.append(lbl))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties_before_sequence(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("low"), priority=5)
+        queue.push(1.0, lambda: order.append("high"), priority=0)
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["high", "low"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("x"))
+        queue.push(2.0, lambda: fired.append("y"))
+        event.cancel()
+        while (live := queue.pop()) is not None:
+            live.action()
+        assert fired == ["y"]
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        kept = queue.push(1.0, lambda: None)
+        cancelled = queue.push(2.0, lambda: None)
+        cancelled.cancel()
+        assert len(queue) == 1
+        assert kept.cancelled is False
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_empty_queue_pops_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_time_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.schedule(7.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5, 7.0]
+        assert sim.now == 7.0
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_in(0.5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_until_limit_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_events_after_until_survive_for_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [10]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        fired = []
+        for t in range(5):
+            sim.schedule(float(t + 1), lambda t=t: fired.append(t))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        fired = []
+        for t in range(5):
+            sim.schedule(float(t + 1), lambda t=t: fired.append(t))
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in range(4):
+            sim.schedule(float(t), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_drain_discards_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.drain()
+        sim.run()
+        assert fired == []
+
+    def test_cascading_events_keep_relative_order(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule_in(0.0, lambda: log.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        # The nested zero-delay event was scheduled after "second".
+        assert log == ["first", "second", "nested"]

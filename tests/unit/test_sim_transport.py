@@ -1,0 +1,90 @@
+"""Unit tests for the message transport."""
+
+from typing import Optional
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.transport import Transport
+
+
+class FixedLatency:
+    """A link model with scripted latencies (None = lost)."""
+
+    def __init__(self, latency: Optional[float]):
+        self.latency = latency
+        self.asked = []
+
+    def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
+        self.asked.append((src, dst, now))
+        return self.latency
+
+
+class TestTransport:
+    def test_delivers_after_latency(self):
+        sim = Simulator()
+        transport = Transport(sim, FixedLatency(0.25))
+        received = []
+        transport.register(1, lambda src, payload: received.append((sim.now, src, payload)))
+        sim.schedule(1.0, lambda: transport.send(0, 1, "hello"))
+        sim.run()
+        assert received == [(1.25, 0, "hello")]
+
+    def test_lost_messages_never_arrive(self):
+        sim = Simulator()
+        transport = Transport(sim, FixedLatency(None))
+        received = []
+        transport.register(1, lambda src, payload: received.append(payload))
+        transport.send(0, 1, "x")
+        sim.run()
+        assert received == []
+        assert transport.messages_lost == 1
+
+    def test_self_send_is_immediate_and_reliable(self):
+        sim = Simulator()
+        model = FixedLatency(None)  # even a fully lossy network
+        transport = Transport(sim, model)
+        received = []
+        transport.register(0, lambda src, payload: received.append((sim.now, payload)))
+        transport.send(0, 0, "self")
+        sim.run()
+        assert received == [(0.0, "self")]
+        # The link model is never consulted for self-sends.
+        assert model.asked == []
+
+    def test_broadcast_sends_to_each_destination(self):
+        sim = Simulator()
+        transport = Transport(sim, FixedLatency(0.1))
+        received = {1: [], 2: []}
+        transport.register(1, lambda src, payload: received[1].append(payload))
+        transport.register(2, lambda src, payload: received[2].append(payload))
+        transport.broadcast(0, [1, 2], "b")
+        sim.run()
+        assert received == {1: ["b"], 2: ["b"]}
+        assert transport.messages_sent == 2
+
+    def test_unregistered_destination_is_dropped_silently(self):
+        sim = Simulator()
+        transport = Transport(sim, FixedLatency(0.1))
+        transport.send(0, 9, "void")
+        sim.run()  # must not raise
+
+    def test_double_registration_rejected(self):
+        sim = Simulator()
+        transport = Transport(sim, FixedLatency(0.1))
+        transport.register(0, lambda s, p: None)
+        with pytest.raises(ValueError):
+            transport.register(0, lambda s, p: None)
+
+    def test_trace_records_deliveries_and_losses(self):
+        sim = Simulator()
+        toggling = FixedLatency(0.5)
+        transport = Transport(sim, toggling, trace=True)
+        transport.register(1, lambda s, p: None)
+        transport.send(0, 1, "a")
+        toggling.latency = None
+        transport.send(0, 1, "b")
+        sim.run()
+        assert len(transport.deliveries) == 2
+        assert transport.deliveries[0].delivered_at == 0.5
+        assert transport.deliveries[1].lost

@@ -1,0 +1,102 @@
+"""Unit tests for the SMR building blocks (commands, KV store, log)."""
+
+import pytest
+
+from repro.smr.command import Command, noop
+from repro.smr.log import ReplicatedLog
+from repro.smr.statemachine import KVStore
+
+
+class TestCommand:
+    def test_total_order(self):
+        a = Command(1, 1, ("set", "x", "1"))
+        b = Command(1, 2, ("set", "x", "2"))
+        c = Command(2, 0, ("get", "x"))
+        assert a < b < c
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_noop_identification(self):
+        assert noop(0, 0).is_noop()
+        assert not Command(1, 1, ("get", "x")).is_noop()
+
+    def test_noops_of_different_replicas_differ(self):
+        assert noop(0, 5) != noop(1, 5)
+
+    def test_frozen(self):
+        command = Command(1, 1, ("get", "x"))
+        with pytest.raises(AttributeError):
+            command.seq = 2  # type: ignore[misc]
+
+
+class TestKVStore:
+    def test_set_then_get(self):
+        store = KVStore()
+        store.apply(Command(1, 1, ("set", "k", "v")))
+        assert store.apply(Command(1, 2, ("get", "k"))) == "v"
+        assert store.get("k") == "v"
+
+    def test_get_missing_returns_none(self):
+        assert KVStore().apply(Command(1, 1, ("get", "nope"))) is None
+
+    def test_del(self):
+        store = KVStore()
+        store.apply(Command(1, 1, ("set", "k", "v")))
+        assert store.apply(Command(1, 2, ("del", "k"))) == "v"
+        assert store.get("k") is None
+
+    def test_cas_success_and_failure(self):
+        store = KVStore()
+        store.apply(Command(1, 1, ("set", "k", "old")))
+        assert store.apply(Command(1, 2, ("cas", "k", "old", "new"))) is True
+        assert store.get("k") == "new"
+        assert store.apply(Command(1, 3, ("cas", "k", "old", "x"))) is False
+        assert store.get("k") == "new"
+
+    def test_noop_changes_nothing(self):
+        store = KVStore()
+        store.apply(Command(1, 1, ("set", "k", "v")))
+        snapshot = store.snapshot()
+        store.apply(noop(0, 7))
+        assert store.snapshot() == snapshot
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            KVStore().apply(Command(1, 1, ("frobnicate", "k")))
+
+    def test_snapshots_equal_iff_same_state(self):
+        a, b = KVStore(), KVStore()
+        a.apply(Command(1, 1, ("set", "x", "1")))
+        b.apply(Command(2, 9, ("set", "x", "1")))  # different command, same effect
+        assert a.snapshot() == b.snapshot()
+        b.apply(Command(2, 10, ("set", "y", "2")))
+        assert a.snapshot() != b.snapshot()
+
+    def test_applied_counter(self):
+        store = KVStore()
+        store.apply(noop(0, 0))
+        store.apply(noop(0, 1))
+        assert store.applied == 2
+
+
+class TestReplicatedLog:
+    def test_append_and_entry(self):
+        log = ReplicatedLog()
+        command = Command(1, 1, ("set", "x", "1"))
+        slot = log.append(command)
+        assert slot == 0
+        assert log.entry(0) == command
+        assert log.entry(1) is None
+
+    def test_next_slot_advances(self):
+        log = ReplicatedLog()
+        assert log.next_slot == 0
+        log.append(noop(0, 0))
+        assert log.next_slot == 1
+
+    def test_iteration_in_order(self):
+        log = ReplicatedLog()
+        commands = [Command(1, i, ("set", "k", str(i))) for i in range(3)]
+        for command in commands:
+            log.append(command)
+        assert list(log) == commands
+        assert len(log) == 3

@@ -1,0 +1,117 @@
+"""Unit tests for ConsensusSequence internals (instance view, catch-up,
+log integrity)."""
+
+from collections import deque
+
+import pytest
+
+from repro.core import WlmConsensus
+from repro.giraf.kernel import Inbox
+from repro.smr.sequence import (
+    CATCH_UP_WINDOW,
+    ConsensusSequence,
+    SequenceMessage,
+    _InstanceInbox,
+)
+
+
+def make_sequence(pid=0, n=3, proposals=("a", "b")):
+    return ConsensusSequence(
+        pid,
+        n,
+        lambda p, size, proposal: WlmConsensus(p, size, proposal),
+        proposals=deque(proposals),
+    )
+
+
+class TestInstanceInbox:
+    def test_filters_by_instance(self):
+        outer = Inbox()
+        outer.record(3, 0, SequenceMessage(1, "one", ()))
+        outer.record(3, 1, SequenceMessage(2, "two", ()))
+        outer.record(3, 2, "not-a-sequence-message")
+        view = _InstanceInbox(outer, 1)
+        assert dict(view.round(3)) == {0: "one"}
+        assert view.get(3, 0) == "one"
+        assert view.get(3, 1) is None
+        assert view.senders(3) == frozenset({0})
+
+    def test_record_wraps_payload(self):
+        outer = Inbox()
+        view = _InstanceInbox(outer, 4)
+        view.record(2, 1, "inner")
+        stored = outer.get(2, 1)
+        assert isinstance(stored, SequenceMessage)
+        assert stored.instance == 4
+        assert view.get(2, 1) == "inner"
+
+    def test_none_payloads_hidden(self):
+        outer = Inbox()
+        outer.record(1, 0, SequenceMessage(0, None, ()))
+        view = _InstanceInbox(outer, 0)
+        assert dict(view.round(1)) == {}
+
+
+class TestLogIntegrity:
+    def test_in_order_decisions_append(self):
+        sequence = make_sequence()
+        sequence._log_decision(0, "x")
+        sequence._log_decision(1, "y")
+        assert sequence.decided_log == ["x", "y"]
+
+    def test_duplicate_same_value_is_idempotent(self):
+        sequence = make_sequence()
+        sequence._log_decision(0, "x")
+        sequence._log_decision(0, "x")
+        assert sequence.decided_log == ["x"]
+
+    def test_conflicting_duplicate_raises(self):
+        sequence = make_sequence()
+        sequence._log_decision(0, "x")
+        with pytest.raises(AssertionError):
+            sequence._log_decision(0, "y")
+
+    def test_gap_raises(self):
+        sequence = make_sequence()
+        with pytest.raises(AssertionError):
+            sequence._log_decision(2, "z")
+
+    def test_own_proposal_dequeued_when_decided(self):
+        sequence = make_sequence(proposals=("a", "b"))
+        sequence._log_decision(0, "a")
+        assert list(sequence.proposals) == ["b"]
+        sequence._log_decision(1, "other")
+        assert list(sequence.proposals) == ["b"]
+
+    def test_decided_suffix_window(self):
+        sequence = make_sequence(proposals=())
+        for index in range(CATCH_UP_WINDOW + 3):
+            sequence._log_decision(index, f"v{index}")
+        suffix = sequence._decided_suffix()
+        assert len(suffix) == CATCH_UP_WINDOW
+        assert suffix[-1] == (CATCH_UP_WINDOW + 2, f"v{CATCH_UP_WINDOW + 2}")
+        assert suffix[0][0] == 3
+
+
+class TestCatchUp:
+    def test_adopts_consecutive_decisions_from_messages(self):
+        sequence = make_sequence(proposals=())
+        inbox = Inbox()
+        inbox.record(
+            5, 1, SequenceMessage(2, "payload", ((0, "x"), (1, "y")))
+        )
+        sequence._catch_up(inbox, 5)
+        assert sequence.decided_log == ["x", "y"]
+        assert sequence.instance == 2
+
+    def test_gapped_suffix_applies_nothing(self):
+        sequence = make_sequence(proposals=())
+        inbox = Inbox()
+        inbox.record(5, 1, SequenceMessage(9, "p", ((7, "far"), (8, "away"))))
+        sequence._catch_up(inbox, 5)
+        assert sequence.decided_log == []
+        assert sequence.instance == 0
+
+    def test_filler_proposed_when_queue_empty(self):
+        sequence = make_sequence(proposals=())
+        assert sequence._next_proposal() == "<noop>"

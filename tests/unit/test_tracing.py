@@ -1,0 +1,84 @@
+"""Unit tests for protocol tracing."""
+
+from repro.core import WlmConsensus
+from repro.giraf import (
+    FixedLeaderOracle,
+    IIDSchedule,
+    LockstepRunner,
+    RunTrace,
+    StableAfterSchedule,
+    TracingAlgorithm,
+    render_trace,
+)
+
+
+def traced_run(n=4, gsr=3, max_rounds=15):
+    trace = RunTrace()
+    schedule = StableAfterSchedule(
+        IIDSchedule(n, p=0.4, seed=2), gsr=gsr, model="WLM", leader=0
+    )
+    runner = LockstepRunner(
+        n,
+        lambda pid: TracingAlgorithm(WlmConsensus(pid, n, pid * 10), trace),
+        FixedLeaderOracle(0),
+        schedule,
+    )
+    result = runner.run(max_rounds=max_rounds)
+    return trace, result
+
+
+class TestRunTrace:
+    def test_records_every_round_and_process(self):
+        trace, result = traced_run()
+        for round_number in range(result.rounds_executed):
+            assert len(trace.events[round_number]) == 4
+
+    def test_decisions_match_runner(self):
+        trace, result = traced_run()
+        traced = {pid: value for pid, (rnd, value) in trace.decisions().items()}
+        assert traced == result.decisions
+
+    def test_decision_rounds_match_runner(self):
+        trace, result = traced_run()
+        for pid, (rnd, _value) in trace.decisions().items():
+            assert rnd == result.decision_rounds[pid]
+
+    def test_wrapper_is_transparent(self):
+        """Traced and untraced runs produce identical outcomes."""
+        trace, traced_result = traced_run()
+        schedule = StableAfterSchedule(
+            IIDSchedule(4, p=0.4, seed=2), gsr=3, model="WLM", leader=0
+        )
+        runner = LockstepRunner(
+            4,
+            lambda pid: WlmConsensus(pid, 4, pid * 10),
+            FixedLeaderOracle(0),
+            schedule,
+        )
+        plain_result = runner.run(max_rounds=15)
+        assert plain_result.decisions == traced_result.decisions
+        assert plain_result.decision_rounds == traced_result.decision_rounds
+
+
+class TestRenderTrace:
+    def test_renders_cascade(self):
+        trace, _ = traced_run()
+        text = render_trace(trace)
+        assert "p0" in text and "p3" in text
+        assert "PRE" in text  # PREPARE messages
+        assert "COM" in text  # commits on the way to decision
+        assert "✓" in text  # decisions marked
+        assert "decisions:" in text
+
+    def test_max_rounds_truncates(self):
+        trace, _ = traced_run()
+        short = render_trace(trace, max_rounds=2)
+        assert short.count("\n") < render_trace(trace).count("\n")
+
+    def test_empty_trace(self):
+        assert render_trace(RunTrace()) == "(empty trace)"
+
+    def test_proposal_passthrough_for_validity_checks(self):
+        trace, result = traced_run()
+        assert result.validity_holds()
+        assert result.proposals == {0: 0, 1: 10, 2: 20, 3: 30}
