@@ -9,6 +9,8 @@ provided: ``QUICK`` (seconds, used by default in the benchmark suite) and
 - :mod:`measurement` — trace generation and per-model satisfaction.
 - :mod:`decision` — rounds/time-to-global-decision from random starts.
 - :mod:`figures` — ``figure_1a`` ... ``figure_1i``.
+- :mod:`parallel` — multi-process sweep engine (bit-identical to serial).
+- :mod:`cache` — on-disk trace cache shared by both engines.
 - :mod:`report` — plain-text rendering of results.
 """
 
@@ -33,6 +35,11 @@ from repro.experiments.figures import (
     figure_1h,
     figure_1i,
     FigureSeries,
+)
+from repro.experiments.cache import TraceCache, cached_trace
+from repro.experiments.parallel import (
+    figure_1c_parallel,
+    run_wan_sweep_parallel,
 )
 from repro.experiments.report import render_series, render_comparison
 from repro.experiments.selection import (
@@ -62,6 +69,10 @@ __all__ = [
     "figure_1i",
     "FigureSeries",
     "run_wan_sweep",
+    "run_wan_sweep_parallel",
+    "figure_1c_parallel",
+    "TraceCache",
+    "cached_trace",
     "WanSweep",
     "render_series",
     "render_comparison",

@@ -18,17 +18,26 @@ MARKERS = "oxv*#@+%"
 def _scale(
     value: float, low: float, high: float, steps: int, log: bool
 ) -> Optional[int]:
-    """Map ``value`` to a bucket in ``0..steps-1``; None for NaN/inf."""
+    """Map ``value`` to a bucket in ``0..steps-1``; None for NaN/inf.
+
+    A degenerate range (``high == low``, e.g. a series constant across
+    the x grid) maps every value to the middle bucket instead of
+    dividing by zero.
+    """
     if value != value or value in (float("inf"), float("-inf")):
         return None
     if log:
         if value <= 0 or low <= 0:
             return None
-        position = (math.log(value) - math.log(low)) / (
-            math.log(high) - math.log(low)
-        )
+        span = math.log(high) - math.log(low)
+        if span == 0:
+            return (steps - 1) // 2
+        position = (math.log(value) - math.log(low)) / span
     else:
-        position = (value - low) / (high - low)
+        span = high - low
+        if span == 0:
+            return (steps - 1) // 2
+        position = (value - low) / span
     bucket = int(round(position * (steps - 1)))
     return min(max(bucket, 0), steps - 1)
 
@@ -63,7 +72,12 @@ def ascii_chart(
         raise ValueError("no finite data to plot")
     y_low, y_high = min(finite), max(finite)
     if y_low == y_high:
-        y_low, y_high = y_low - 0.5, y_high + 0.5
+        if y_log:
+            # Additive widening could push the floor to <= 0, which a log
+            # axis cannot represent; widen multiplicatively instead.
+            y_low, y_high = y_low / 2.0, y_high * 2.0
+        else:
+            y_low, y_high = y_low - 0.5, y_high + 0.5
     x_low, x_high = min(x), max(x)
     if x_low == x_high:
         x_low, x_high = x_low - 0.5, x_high + 0.5

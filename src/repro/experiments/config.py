@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.sim.rng import derive_seed
+
 
 @dataclass(frozen=True)
 class SweepConfig:
@@ -33,9 +35,21 @@ class SweepConfig:
     timeouts: Sequence[float] = field(default_factory=tuple)
     seed: int = 2007
 
-    def run_seed(self, timeout_index: int, run_index: int) -> int:
-        """A deterministic per-(timeout, run) seed."""
-        return self.seed * 1_000_003 + timeout_index * 1_009 + run_index
+    def run_seed(
+        self, timeout_index: int, run_index: int, purpose: str = "trace"
+    ) -> int:
+        """A deterministic per-(timeout, run, purpose) seed.
+
+        Derived by hashing, not a linear combination: linear schemes
+        (``seed * K + i * L + j``) collide across cells and figures for
+        unlucky root seeds, silently correlating "independent" runs.
+        Distinct ``purpose`` strings (e.g. ``"trace"`` for latency
+        sampling, ``"decision"`` for start-point draws) give distinct
+        streams for the same cell.
+        """
+        return derive_seed(
+            self.seed, f"{purpose}:cell:{timeout_index}:{run_index}"
+        )
 
 
 #: WAN timeout grid (seconds) spanning the paper's 140-350 ms range.

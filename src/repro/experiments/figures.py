@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.equations import expected_decision_rounds
 from repro.analysis.stats import summarize
+from repro.experiments.cache import cached_trace
 from repro.experiments.config import (
     SweepConfig,
     QUICK,
@@ -24,8 +25,6 @@ from repro.experiments.decision import decision_stats
 from repro.experiments.measurement import (
     measured_p,
     model_satisfaction,
-    sample_lan_trace,
-    sample_wan_trace,
     timely_matrices,
 )
 from repro.net.lan import LanProfile
@@ -66,26 +65,40 @@ class WanSweep:
     runs: dict[float, list[WanRun]] = field(default_factory=dict)
 
 
+def wan_cell(config: SweepConfig, t_index: int, r_index: int) -> WanRun:
+    """One independent (timeout, run) cell of the WAN sweep.
+
+    The cell is a pure function of ``(config, t_index, r_index)`` — it
+    derives its own seed and samples (or cache-loads) its own trace — so
+    the serial and parallel engines produce bit-identical sweeps by
+    construction: both just map this function over the cell grid.
+    """
+    timeout = config.timeouts[t_index]
+    seed = config.run_seed(t_index, r_index)
+    trace = cached_trace(
+        "wan", config.n, config.rounds_per_run, timeout, seed
+    )
+    return WanRun(
+        p=measured_p(trace, timeout),
+        matrices=timely_matrices(trace, timeout),
+    )
+
+
 def run_wan_sweep(config: SweepConfig = QUICK, leader: int = LEADER_NODE) -> WanSweep:
     """Execute the WAN measurement protocol of Section 5.3.
 
     For each timeout, ``config.runs`` independent runs of
     ``config.rounds_per_run`` synchronized rounds over fresh instances of
-    the synthetic PlanetLab network.
+    the synthetic PlanetLab network.  (See
+    :func:`repro.experiments.parallel.run_wan_sweep_parallel` for the
+    multi-process engine; it yields identical results.)
     """
     sweep = WanSweep(config=config, leader=leader)
-    for t_index, timeout in enumerate(config.timeouts):
-        runs = []
-        for r_index in range(config.runs):
-            seed = config.run_seed(t_index, r_index)
-            trace = sample_wan_trace(config.rounds_per_run, timeout, seed)
-            runs.append(
-                WanRun(
-                    p=measured_p(trace, timeout),
-                    matrices=timely_matrices(trace, timeout),
-                )
-            )
-        sweep.runs[timeout] = runs
+    for t_index in range(len(config.timeouts)):
+        sweep.runs[config.timeouts[t_index]] = [
+            wan_cell(config, t_index, r_index)
+            for r_index in range(config.runs)
+        ]
     return sweep
 
 
@@ -136,7 +149,48 @@ def figure_1b(
 # ----------------------------------------------------------------------
 # Figure 1(c): LAN — measured versus IID-predicted P_M per timeout.
 # ----------------------------------------------------------------------
-def figure_1c(config: SweepConfig = QUICK_LAN) -> FigureSeries:
+@dataclass
+class LanCell:
+    """One (timeout, run) cell of the LAN measurement: its measured p and
+    every per-model satisfaction the figure aggregates."""
+
+    p: float
+    measurements: dict[str, float]
+
+
+def lan_cell(config: SweepConfig, t_index: int, r_index: int) -> LanCell:
+    """One independent (timeout, run) cell of the LAN measurement.
+
+    Like :func:`wan_cell`, a pure function of its arguments, shared by
+    the serial and parallel engines.
+    """
+    timeout = config.timeouts[t_index]
+    seed = config.run_seed(t_index, r_index)
+    trace = cached_trace(
+        "lan", config.n, config.rounds_per_run, timeout, seed
+    )
+    matrices = timely_matrices(trace, timeout)
+    profile_defaults = LanProfile()
+    good, average = profile_defaults.good_leader, profile_defaults.average_leader
+    measurements: dict[str, float] = {}
+    for model in MEASURED_MODELS:
+        leader = good if model in ("LM", "WLM") else None
+        measurements[f"measured_{model}"] = model_satisfaction(
+            matrices, model, leader=leader
+        )
+    measurements["measured_WLM_avg_leader"] = model_satisfaction(
+        matrices, "WLM", leader=average
+    )
+    measurements["measured_LM_avg_leader"] = model_satisfaction(
+        matrices, "LM", leader=average
+    )
+    return LanCell(p=measured_p(trace, timeout), measurements=measurements)
+
+
+def figure_1c(
+    config: SweepConfig = QUICK_LAN,
+    cells: Optional[Sequence[Sequence[LanCell]]] = None,
+) -> FigureSeries:
     """LAN measurement (paper Figure 1(c)).
 
     Shape targets from Section 5.2: ES hard to satisfy but better than the
@@ -145,6 +199,9 @@ def figure_1c(config: SweepConfig = QUICK_LAN) -> FigureSeries:
     with the *good* leader far better than predicted, with WLM best of
     all; with an *average* leader, WLM/LM need much larger timeouts than
     AFM.
+
+    ``cells`` may supply precomputed ``cells[t_index][r_index]`` results
+    (the parallel engine does); when omitted each cell is computed here.
     """
     x = [float(t) for t in config.timeouts]
     result = FigureSeries(figure="1c", x_label="timeout (s)", x=x)
@@ -162,33 +219,24 @@ def figure_1c(config: SweepConfig = QUICK_LAN) -> FigureSeries:
 
     predicted_fns = {"ES": p_es, "AFM": p_afm, "LM": p_lm, "WLM": p_wlm}
 
-    for t_index, timeout in enumerate(config.timeouts):
-        per_run: dict[str, list[float]] = {name: [] for name in names}
-        p_values = []
-        for r_index in range(config.runs):
-            seed = config.run_seed(t_index, r_index)
-            trace = sample_lan_trace(config.rounds_per_run, timeout, seed)
-            matrices = timely_matrices(trace, timeout)
-            p_values.append(measured_p(trace, timeout))
-            for model in MEASURED_MODELS:
-                leader = good if model in ("LM", "WLM") else None
-                per_run[f"measured_{model}"].append(
-                    model_satisfaction(matrices, model, leader=leader)
-                )
-            per_run["measured_WLM_avg_leader"].append(
-                model_satisfaction(matrices, "WLM", leader=average)
-            )
-            per_run["measured_LM_avg_leader"].append(
-                model_satisfaction(matrices, "LM", leader=average)
-            )
-        p_hat = float(np.mean(p_values))
+    for t_index in range(len(config.timeouts)):
+        if cells is None:
+            row = [
+                lan_cell(config, t_index, r_index)
+                for r_index in range(config.runs)
+            ]
+        else:
+            row = list(cells[t_index])
+        p_hat = float(np.mean([cell.p for cell in row]))
         for model in MEASURED_MODELS:
             result.series[f"predicted_{model}"].append(
                 float(predicted_fns[model](p_hat, config.n))
             )
         for name in names:
             if name.startswith("measured"):
-                result.series[name].append(float(np.mean(per_run[name])))
+                result.series[name].append(
+                    float(np.mean([cell.measurements[name] for cell in row]))
+                )
     result.notes = f"good leader = node {good}, average leader = node {average}"
     return result
 
@@ -293,8 +341,10 @@ def _decision_series(
         for t_index, timeout in enumerate(sweep.config.timeouts):
             run_rounds = []
             for r_index, run in enumerate(sweep.runs[timeout]):
+                # A distinct hashed purpose, not run_seed + offset: additive
+                # offsets can collide with another cell's trace stream.
                 rng = np.random.default_rng(
-                    sweep.config.run_seed(t_index, r_index) + 7_777
+                    sweep.config.run_seed(t_index, r_index, purpose="decision")
                 )
                 stats = decision_stats(
                     run.matrices,

@@ -68,12 +68,15 @@ def satisfaction_vector(
     model: TimingModel | str,
     leader: Optional[int] = None,
 ) -> np.ndarray:
-    """Boolean vector: does round ``k`` satisfy the model?"""
+    """Boolean vector: does round ``k`` satisfy the model?
+
+    Evaluates every round in one batched NumPy pass (see
+    :meth:`~repro.models.registry.TimingModel.satisfied_batch`); the
+    result is bit-identical to looping ``model.satisfied`` per round.
+    """
     if isinstance(model, str):
         model = get_model(model)
-    return np.array(
-        [model.satisfied(matrix, leader=leader) for matrix in matrices]
-    )
+    return model.satisfied_batch(np.asarray(matrices), leader=leader)
 
 def model_satisfaction(
     matrices: np.ndarray,

@@ -1,0 +1,150 @@
+"""Parallel sweep execution engine.
+
+The measurement sweeps are embarrassingly parallel: every (timeout, run)
+cell derives its own seed (:meth:`SweepConfig.run_seed`) and samples its
+own trace, so cells can execute in any order on any worker without
+changing a single bit of the result.  This module fans the WAN sweep and
+the LAN figure out over a :class:`concurrent.futures.ProcessPoolExecutor`
+with one task per cell and reassembles the results in the serial order —
+``run_wan_sweep_parallel(config, jobs=k)`` equals ``run_wan_sweep(config)``
+exactly, for any ``k``.
+
+Workers inherit the trace cache (:mod:`repro.experiments.cache`) through
+a pool initializer, so a warm cache is shared across processes; writes
+are atomic, so racing workers are safe.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.experiments import cache as trace_cache
+from repro.experiments.config import QUICK, QUICK_LAN, SweepConfig
+from repro.experiments.figures import (
+    FigureSeries,
+    LanCell,
+    WanRun,
+    WanSweep,
+    figure_1c,
+    lan_cell,
+    wan_cell,
+)
+from repro.net.planetlab import LEADER_NODE
+
+_CellResult = TypeVar("_CellResult")
+
+#: ``progress(done_cells, total_cells)``, invoked after every finished cell.
+ProgressCallback = Callable[[int, int], None]
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for "auto" (one per CPU)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _init_worker(cache_root: Optional[str]) -> None:
+    """Pool initializer: re-activate the parent's trace cache."""
+    if cache_root is not None:
+        trace_cache.activate(cache_root)
+
+
+def _wan_task(args: tuple[SweepConfig, int, int]) -> WanRun:
+    config, t_index, r_index = args
+    return wan_cell(config, t_index, r_index)
+
+
+def _lan_task(args: tuple[SweepConfig, int, int]) -> LanCell:
+    config, t_index, r_index = args
+    return lan_cell(config, t_index, r_index)
+
+
+def _resolve_cache_root(cache_root: Optional[Path | str]) -> Optional[str]:
+    if cache_root is not None:
+        return str(cache_root)
+    active = trace_cache.active_cache()
+    if active is not None:
+        return str(active.root)
+    return None
+
+
+def _map_cells(
+    task: Callable[[tuple[SweepConfig, int, int]], _CellResult],
+    config: SweepConfig,
+    jobs: Optional[int],
+    cache_root: Optional[Path | str],
+    progress: Optional[ProgressCallback],
+) -> list[list[_CellResult]]:
+    """Evaluate every (timeout, run) cell, ``jobs`` at a time.
+
+    Returns ``results[t_index][r_index]`` in the serial iteration order
+    regardless of completion order.
+    """
+    if jobs is None or jobs <= 0:
+        jobs = default_jobs()
+    cells = [
+        (config, t_index, r_index)
+        for t_index in range(len(config.timeouts))
+        for r_index in range(config.runs)
+    ]
+    total = len(cells)
+    flat: list[_CellResult] = []
+    if jobs == 1:
+        for done, cell in enumerate(cells, start=1):
+            flat.append(task(cell))
+            if progress is not None:
+                progress(done, total)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(_resolve_cache_root(cache_root),),
+        ) as pool:
+            for done, result in enumerate(
+                pool.map(task, cells, chunksize=1), start=1
+            ):
+                flat.append(result)
+                if progress is not None:
+                    progress(done, total)
+    return [
+        flat[t_index * config.runs : (t_index + 1) * config.runs]
+        for t_index in range(len(config.timeouts))
+    ]
+
+
+def run_wan_sweep_parallel(
+    config: SweepConfig = QUICK,
+    leader: int = LEADER_NODE,
+    jobs: Optional[int] = None,
+    cache_root: Optional[Path | str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> WanSweep:
+    """:func:`~repro.experiments.figures.run_wan_sweep`, one process per
+    cell batch; bit-identical to the serial engine.
+
+    Args:
+        jobs: worker processes; ``None``/``0`` means one per CPU, ``1``
+            runs in-process (no pool) — useful for spying/debugging.
+        cache_root: trace-cache directory handed to workers; defaults to
+            the process-wide active cache, if any.
+        progress: ``progress(done, total)`` called per finished cell.
+    """
+    rows = _map_cells(_wan_task, config, jobs, cache_root, progress)
+    sweep = WanSweep(config=config, leader=leader)
+    for t_index, timeout in enumerate(config.timeouts):
+        sweep.runs[timeout] = rows[t_index]
+    return sweep
+
+
+def figure_1c_parallel(
+    config: SweepConfig = QUICK_LAN,
+    jobs: Optional[int] = None,
+    cache_root: Optional[Path | str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> FigureSeries:
+    """:func:`~repro.experiments.figures.figure_1c` with parallel cells;
+    bit-identical to the serial figure."""
+    rows = _map_cells(_lan_task, config, jobs, cache_root, progress)
+    return figure_1c(config, cells=rows)

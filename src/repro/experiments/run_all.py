@@ -5,9 +5,16 @@
     python -m repro.experiments                 # quick scale, ./results
     python -m repro.experiments --scale paper   # the 33x300 protocol
     python -m repro.experiments --out /tmp/figs --charts
+    python -m repro.experiments --jobs 0        # one worker per CPU
 
 Writes one text table (and optionally an ASCII chart) per figure, plus a
 summary of the Section 4.2 headline numbers.
+
+Sampled traces are cached on disk (default ``<out>/.trace-cache``; see
+:mod:`repro.experiments.cache`), so a repeat run — with ``--charts``, a
+new figure, or a different downstream analysis — re-simulates nothing.
+``--no-cache`` disables this; ``--jobs N`` fans the sweeps out over N
+worker processes (0 = one per CPU).
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import time
 from pathlib import Path
 
 from repro.analysis import expected_decision_rounds, find_crossover
+from repro.experiments import cache as trace_cache
 from repro.experiments.ascii_chart import chart_figure
 from repro.experiments.config import PAPER, PAPER_LAN, QUICK, QUICK_LAN
 from repro.experiments.figures import (
@@ -31,6 +39,11 @@ from repro.experiments.figures import (
     figure_1h,
     figure_1i,
     run_wan_sweep,
+)
+from repro.experiments.parallel import (
+    default_jobs,
+    figure_1c_parallel,
+    run_wan_sweep_parallel,
 )
 from repro.experiments.report import render_comparison, render_series
 
@@ -56,6 +69,29 @@ def headline_numbers() -> str:
     return render_comparison("Section 4.2 headline numbers", rows)
 
 
+class _PhaseProgress:
+    """Prints coarse per-phase progress plus a final throughput line."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.start = time.time()
+        self._last_quarter = 0
+
+    def __call__(self, done: int, total: int) -> None:
+        quarter = (4 * done) // total
+        if quarter > self._last_quarter and done < total:
+            self._last_quarter = quarter
+            print(f"    ... {done}/{total} cells")
+
+    def finish(self, cells: int) -> None:
+        elapsed = time.time() - self.start
+        rate = cells / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"  {self.label}: {cells} cells in {elapsed:.2f}s "
+            f"({rate:.1f} cells/s)"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -73,11 +109,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--charts", action="store_true", help="also write ASCII charts"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweeps (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="trace cache directory (default: <out>/.trace-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk trace cache",
+    )
     args = parser.parse_args(argv)
 
     wan_config = PAPER if args.scale == "paper" else QUICK
     lan_config = PAPER_LAN if args.scale == "paper" else QUICK_LAN
     args.out.mkdir(parents=True, exist_ok=True)
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or (args.out / ".trace-cache")
+        cache = trace_cache.activate(cache_dir)
+        print(
+            f"trace cache: {cache_dir} ({cache.entries()} entries), "
+            f"jobs: {jobs}"
+        )
 
     def emit(name: str, result, y_log: bool = False) -> None:
         (args.out / f"{name}.txt").write_text(render_series(result) + "\n")
@@ -95,10 +158,23 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  wrote {args.out / 'headline.txt'}")
 
     print("[2/4] LAN measurement (Section 5.2)")
-    emit("fig1c", figure_1c(lan_config))
+    lan_progress = _PhaseProgress("LAN sweep")
+    if jobs > 1:
+        fig1c = figure_1c_parallel(lan_config, jobs=jobs, progress=lan_progress)
+    else:
+        fig1c = figure_1c(lan_config)
+    lan_progress.finish(len(lan_config.timeouts) * lan_config.runs)
+    emit("fig1c", fig1c)
 
     print("[3/4] WAN sweep (Section 5.3) — this is the slow part")
-    sweep = run_wan_sweep(wan_config)
+    wan_progress = _PhaseProgress("WAN sweep")
+    if jobs > 1:
+        sweep = run_wan_sweep_parallel(
+            wan_config, jobs=jobs, progress=wan_progress
+        )
+    else:
+        sweep = run_wan_sweep(wan_config)
+    wan_progress.finish(len(wan_config.timeouts) * wan_config.runs)
 
     print("[4/4] WAN figures")
     emit("fig1d", figure_1d(sweep=sweep))
@@ -108,6 +184,11 @@ def main(argv: list[str] | None = None) -> int:
     emit("fig1h", figure_1h(sweep=sweep))
     emit("fig1i", figure_1i(sweep=sweep))
 
+    if cache is not None:
+        print(
+            f"trace cache: {cache.hits} hits, {cache.misses} misses, "
+            f"{cache.entries()} entries on disk"
+        )
     print(f"done in {time.time() - start:.1f}s -> {args.out}/")
     return 0
 

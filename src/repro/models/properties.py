@@ -110,3 +110,60 @@ def satisfies_afm(matrix: np.ndarray, correct: Optional[Iterable[int]] = None) -
     # Sources may count arbitrary recipients (not only correct ones).
     out_counts = np.count_nonzero(matrix[:, idx], axis=0)
     return bool(np.all(out_counts >= maj))
+
+
+# ----------------------------------------------------------------------
+# Batched forms: one call evaluates every round of a trace.
+#
+# Each ``batch_satisfies_*`` takes a stack of round matrices with shape
+# ``(rounds, n, n)`` and returns a boolean vector of length ``rounds``,
+# bit-identical to mapping the scalar predicate over the stack but
+# without the per-round Python loop (the measurement hot path evaluates
+# tens of thousands of rounds per sweep).
+# ----------------------------------------------------------------------
+def batch_satisfies_es(
+    matrices: np.ndarray, correct: Optional[Iterable[int]] = None
+) -> np.ndarray:
+    """Vectorized :func:`satisfies_es` over a ``(rounds, n, n)`` stack."""
+    idx = _correct_indices(matrices.shape[1], correct)
+    return matrices[:, idx][:, :, idx].all(axis=(1, 2))
+
+
+def batch_satisfies_lm(
+    matrices: np.ndarray,
+    leader: int,
+    correct: Optional[Iterable[int]] = None,
+) -> np.ndarray:
+    """Vectorized :func:`satisfies_lm` over a ``(rounds, n, n)`` stack."""
+    n = matrices.shape[1]
+    idx = _correct_indices(n, correct)
+    maj = majority(n)
+    leader_reaches_all = matrices[:, idx, leader].all(axis=1)
+    in_counts = np.count_nonzero(matrices[:, idx][:, :, idx], axis=2)
+    return leader_reaches_all & (in_counts >= maj).all(axis=1)
+
+
+def batch_satisfies_wlm(
+    matrices: np.ndarray,
+    leader: int,
+    correct: Optional[Iterable[int]] = None,
+) -> np.ndarray:
+    """Vectorized :func:`satisfies_wlm` over a ``(rounds, n, n)`` stack."""
+    n = matrices.shape[1]
+    idx = _correct_indices(n, correct)
+    maj = majority(n)
+    leader_reaches_all = matrices[:, idx, leader].all(axis=1)
+    leader_hears = np.count_nonzero(matrices[:, leader, :][:, idx], axis=1) >= maj
+    return leader_reaches_all & leader_hears
+
+
+def batch_satisfies_afm(
+    matrices: np.ndarray, correct: Optional[Iterable[int]] = None
+) -> np.ndarray:
+    """Vectorized :func:`satisfies_afm` over a ``(rounds, n, n)`` stack."""
+    n = matrices.shape[1]
+    idx = _correct_indices(n, correct)
+    maj = majority(n)
+    in_counts = np.count_nonzero(matrices[:, idx][:, :, idx], axis=2)
+    out_counts = np.count_nonzero(matrices[:, :, idx], axis=1)
+    return (in_counts >= maj).all(axis=1) & (out_counts >= maj).all(axis=1)

@@ -29,6 +29,10 @@ from typing import Callable, Iterable, Optional
 import numpy as np
 
 from repro.models.properties import (
+    batch_satisfies_afm,
+    batch_satisfies_es,
+    batch_satisfies_lm,
+    batch_satisfies_wlm,
     satisfies_afm,
     satisfies_es,
     satisfies_lm,
@@ -56,6 +60,7 @@ class TimingModel:
     needs_leader: bool
     stable_message_complexity: str
     _predicate: Callable[..., bool]
+    _batch_predicate: Optional[Callable[..., np.ndarray]] = None
 
     def satisfied(
         self,
@@ -70,6 +75,33 @@ class TimingModel:
             return self._predicate(matrix, leader, correct)
         return self._predicate(matrix, correct)
 
+    def satisfied_batch(
+        self,
+        matrices: np.ndarray,
+        leader: Optional[int] = None,
+        correct: Optional[Iterable[int]] = None,
+    ) -> np.ndarray:
+        """Per-round satisfaction over a ``(rounds, n, n)`` stack.
+
+        Uses the model's vectorized predicate when one is registered;
+        otherwise falls back to mapping :meth:`satisfied` per round.
+        Either way the result is bit-identical to the scalar loop.
+        """
+        matrices = np.asarray(matrices)
+        if self._batch_predicate is None:
+            return np.array(
+                [
+                    self.satisfied(matrix, leader=leader, correct=correct)
+                    for matrix in matrices
+                ],
+                dtype=bool,
+            )
+        if self.needs_leader:
+            if leader is None:
+                raise ValueError(f"model {self.name} requires a leader")
+            return self._batch_predicate(matrices, leader, correct)
+        return self._batch_predicate(matrices, correct)
+
 
 MODELS: dict[str, TimingModel] = {
     "ES": TimingModel(
@@ -79,6 +111,7 @@ MODELS: dict[str, TimingModel] = {
         needs_leader=False,
         stable_message_complexity="quadratic",
         _predicate=satisfies_es,
+        _batch_predicate=batch_satisfies_es,
     ),
     "LM": TimingModel(
         name="LM",
@@ -87,6 +120,7 @@ MODELS: dict[str, TimingModel] = {
         needs_leader=True,
         stable_message_complexity="quadratic",
         _predicate=satisfies_lm,
+        _batch_predicate=batch_satisfies_lm,
     ),
     "WLM": TimingModel(
         name="WLM",
@@ -95,6 +129,7 @@ MODELS: dict[str, TimingModel] = {
         needs_leader=True,
         stable_message_complexity="linear",
         _predicate=satisfies_wlm,
+        _batch_predicate=batch_satisfies_wlm,
     ),
     "WLM_SIM": TimingModel(
         name="WLM_SIM",
@@ -103,6 +138,7 @@ MODELS: dict[str, TimingModel] = {
         needs_leader=True,
         stable_message_complexity="quadratic",
         _predicate=satisfies_wlm,
+        _batch_predicate=batch_satisfies_wlm,
     ),
     "AFM": TimingModel(
         name="AFM",
@@ -111,6 +147,7 @@ MODELS: dict[str, TimingModel] = {
         needs_leader=False,
         stable_message_complexity="quadratic",
         _predicate=satisfies_afm,
+        _batch_predicate=batch_satisfies_afm,
     ),
 }
 

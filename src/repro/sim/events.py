@@ -37,10 +37,17 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     tag: str = field(default="", compare=False)
+    _queue: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel(self)
 
 
 class EventQueue:
@@ -49,9 +56,17 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        # O(1): simulator loops poll the queue length, and a heap scan
+        # here turns those loops quadratic.
+        return self._live
+
+    def _on_cancel(self, event: Event) -> None:
+        """Called exactly once per cancelled in-queue event."""
+        self._live -= 1
+        event._queue = None
 
     def push(
         self,
@@ -67,8 +82,10 @@ class EventQueue:
             seq=next(self._counter),
             action=action,
             tag=tag,
+            _queue=self,
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -76,6 +93,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event._queue = None
                 return event
         return None
 

@@ -15,6 +15,18 @@ import hashlib
 import numpy as np
 
 
+def derive_seed(root: int, name: str) -> int:
+    """Derive a child seed from ``(root, name)`` by SHA-256.
+
+    This is the one seed-derivation rule in the codebase: unlike linear
+    combinations (``root * K + index``), hashed derivation cannot collide
+    across purposes or indices for any choice of root seed, so every
+    (cell, purpose) pair of an experiment gets a provably distinct stream.
+    """
+    digest = hashlib.sha256(f"{int(root)}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RandomStreams:
     """A factory of named, reproducible :class:`numpy.random.Generator` objects."""
 
@@ -35,13 +47,10 @@ class RandomStreams:
         """
         generator = self._streams.get(name)
         if generator is None:
-            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
-            child_seed = int.from_bytes(digest[:8], "big")
-            generator = np.random.default_rng(child_seed)
+            generator = np.random.default_rng(derive_seed(self._seed, name))
             self._streams[name] = generator
         return generator
 
     def spawn(self, name: str) -> "RandomStreams":
         """Derive a child factory, e.g. one per repetition of an experiment."""
-        digest = hashlib.sha256(f"{self._seed}:spawn:{name}".encode()).digest()
-        return RandomStreams(int.from_bytes(digest[:8], "big"))
+        return RandomStreams(derive_seed(self._seed, f"spawn:{name}"))

@@ -26,17 +26,22 @@ class LinkModel(Protocol):
 
 @dataclass
 class Delivery:
-    """Record of one message delivery (or drop), kept when tracing is on."""
+    """Record of one message delivery (or drop), kept when tracing is on.
+
+    ``undeliverable`` marks messages that arrived at a destination that
+    never registered a receive handler; they count as lost.
+    """
 
     src: int
     dst: int
     sent_at: float
     latency: Optional[float]
     payload: Any = field(repr=False, default=None)
+    undeliverable: bool = False
 
     @property
     def lost(self) -> bool:
-        return self.latency is None
+        return self.latency is None or self.undeliverable
 
     @property
     def delivered_at(self) -> Optional[float]:
@@ -82,18 +87,27 @@ class Transport:
             latency: Optional[float] = 0.0
         else:
             latency = self._link_model.sample_latency(src, dst, now)
+        record: Optional[Delivery] = None
         if self._trace:
-            self.deliveries.append(
-                Delivery(src=src, dst=dst, sent_at=now, latency=latency, payload=payload)
+            record = Delivery(
+                src=src, dst=dst, sent_at=now, latency=latency, payload=payload
             )
+            self.deliveries.append(record)
         if latency is None:
             self.messages_lost += 1
             return
 
         def deliver() -> None:
             handler = self._handlers.get(dst)
-            if handler is not None:
-                handler(src, payload)
+            if handler is None:
+                # A destination that never registered cannot receive: the
+                # message is lost, and must be counted as such or loss
+                # statistics under-report.
+                self.messages_lost += 1
+                if record is not None:
+                    record.undeliverable = True
+                return
+            handler(src, payload)
 
         self._simulator.schedule_in(latency, deliver, tag=f"deliver:{src}->{dst}")
 

@@ -81,3 +81,25 @@ class TestChartFigure:
         text = chart_figure(result)
         assert "WLM_ci_low" not in text
         assert "o WLM" in text
+
+
+class TestDegenerateRanges:
+    def test_scale_guards_zero_span(self):
+        from repro.experiments.ascii_chart import _scale
+
+        # A constant series gives low == high: middle bucket, not a
+        # ZeroDivisionError.
+        assert _scale(5.0, 5.0, 5.0, 20, log=False) == 9
+        assert _scale(5.0, 5.0, 5.0, 20, log=True) == 9
+
+    def test_constant_series_renders_on_a_row(self):
+        text = ascii_chart([0, 1, 2], {"s": [3.0, 3.0, 3.0]}, width=12, height=7)
+        marks = sum(line.split("│", 1)[1].count("o")
+                    for line in text.splitlines() if "│" in line)
+        assert marks == 3
+
+    def test_constant_series_log_axis_renders(self):
+        text = ascii_chart([0, 1], {"s": [0.3, 0.3]}, y_log=True, height=7)
+        marks = sum(line.split("│", 1)[1].count("o")
+                    for line in text.splitlines() if "│" in line)
+        assert marks > 0

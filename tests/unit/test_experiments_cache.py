@@ -1,0 +1,106 @@
+"""Unit tests for the on-disk trace cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import cache as cache_module
+from repro.experiments import measurement
+from repro.experiments.cache import TraceCache, cached_trace, trace_key
+
+
+@pytest.fixture(autouse=True)
+def no_global_cache():
+    """Keep the process-wide cache state clean across tests."""
+    cache_module.deactivate()
+    yield
+    cache_module.deactivate()
+
+
+class TestTraceKey:
+    def test_deterministic(self):
+        assert trace_key("wan", 8, 100, 0.2, 7) == trace_key("wan", 8, 100, 0.2, 7)
+
+    def test_sensitive_to_every_parameter(self):
+        base = trace_key("wan", 8, 100, 0.2, 7)
+        assert trace_key("lan", 8, 100, 0.2, 7) != base
+        assert trace_key("wan", 9, 100, 0.2, 7) != base
+        assert trace_key("wan", 8, 101, 0.2, 7) != base
+        assert trace_key("wan", 8, 100, 0.21, 7) != base
+        assert trace_key("wan", 8, 100, 0.2, 8) != base
+
+    def test_round_length_uses_full_precision(self):
+        # repr, not a formatted float: nearby timeouts must not collide.
+        assert trace_key("wan", 8, 100, 0.1, 7) != trace_key(
+            "wan", 8, 100, 0.1 + 1e-12, 7
+        )
+
+
+class TestTraceCache:
+    def test_store_load_roundtrip_is_bit_identical(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        trace = measurement.sample_wan_trace(5, 0.2, seed=3)
+        cache.store("wan", "k", trace)
+        loaded = cache.load("wan", "k")
+        assert loaded.dtype == trace.dtype
+        assert np.array_equal(loaded, trace)
+
+    def test_load_missing_returns_none_and_counts_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert cache.load("wan", "absent") is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_entries_counts_stored_traces(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert cache.entries() == 0
+        cache.store("wan", "a", np.zeros((1, 2, 2)))
+        cache.store("lan", "b", np.zeros((1, 2, 2)))
+        assert cache.entries() == 2
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.store("wan", "a", np.zeros((1, 2, 2)))
+        assert list(tmp_path.glob("**/*.tmp")) == []
+
+
+class TestCachedTrace:
+    def test_without_cache_delegates_to_sampler(self, monkeypatch):
+        calls = []
+        real = measurement.sample_wan_trace
+
+        def spy(rounds, round_length, seed):
+            calls.append(seed)
+            return real(rounds, round_length, seed)
+
+        monkeypatch.setattr(measurement, "sample_wan_trace", spy)
+        cached_trace("wan", 8, 5, 0.2, seed=1)
+        cached_trace("wan", 8, 5, 0.2, seed=1)
+        assert calls == [1, 1]  # no cache: sampled every time
+
+    def test_second_call_hits_cache_with_zero_resimulation(
+        self, tmp_path, monkeypatch
+    ):
+        cache = TraceCache(tmp_path)
+        calls = []
+        real = measurement.sample_wan_trace
+
+        def spy(rounds, round_length, seed):
+            calls.append(seed)
+            return real(rounds, round_length, seed)
+
+        monkeypatch.setattr(measurement, "sample_wan_trace", spy)
+        first = cached_trace("wan", 8, 5, 0.2, seed=1, cache=cache)
+        second = cached_trace("wan", 8, 5, 0.2, seed=1, cache=cache)
+        assert calls == [1]
+        assert np.array_equal(first, second)
+
+    def test_uses_process_wide_cache_when_activated(self, tmp_path):
+        cache_module.activate(tmp_path)
+        cached_trace("lan", 8, 4, 0.001, seed=2)
+        active = cache_module.active_cache()
+        assert active is not None
+        assert active.entries() == 1
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            cached_trace("martian", 8, 5, 0.2, seed=1)

@@ -89,3 +89,53 @@ class TestModelSatisfaction:
         matrices = np.array([m, empty_matrix(4)])
         vector = satisfaction_vector(matrices, "WLM", leader=1)
         assert vector.tolist() == [True, False]
+
+
+class TestBatchedSatisfaction:
+    """The vectorized path must be bit-identical to the scalar loop."""
+
+    def _random_stack(self, seed, rounds=64, n=8, density=0.85):
+        rng = np.random.default_rng(seed)
+        matrices = rng.random((rounds, n, n)) < density
+        matrices[:, np.arange(n), np.arange(n)] = True
+        return matrices
+
+    @pytest.mark.parametrize("name", ["ES", "AFM", "LM", "WLM", "WLM_SIM"])
+    def test_matches_scalar_loop(self, name):
+        from repro.models.registry import get_model
+
+        model = get_model(name)
+        leader = 3 if model.needs_leader else None
+        matrices = self._random_stack(seed=17)
+        batched = satisfaction_vector(matrices, name, leader=leader)
+        scalar = np.array(
+            [model.satisfied(m, leader=leader) for m in matrices], dtype=bool
+        )
+        assert batched.dtype == np.bool_
+        assert np.array_equal(batched, scalar)
+
+    @pytest.mark.parametrize("name", ["ES", "AFM", "LM", "WLM"])
+    def test_matches_scalar_loop_with_correct_subset(self, name):
+        from repro.models.registry import get_model
+
+        model = get_model(name)
+        leader = 2 if model.needs_leader else None
+        correct = [0, 2, 4, 5, 7]
+        matrices = self._random_stack(seed=23, density=0.9)
+        batched = model.satisfied_batch(matrices, leader=leader, correct=correct)
+        scalar = np.array(
+            [model.satisfied(m, leader=leader, correct=correct) for m in matrices],
+            dtype=bool,
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_empty_stack(self):
+        matrices = np.zeros((0, 8, 8), dtype=bool)
+        vector = satisfaction_vector(matrices, "ES")
+        assert vector.shape == (0,)
+
+    def test_leader_still_required(self):
+        from repro.models.registry import get_model
+
+        with pytest.raises(ValueError):
+            get_model("WLM").satisfied_batch(self._random_stack(seed=1))

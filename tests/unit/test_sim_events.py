@@ -52,6 +52,55 @@ class TestEventQueue:
         assert len(queue) == 1
         assert kept.cancelled is False
 
+    def test_len_tracks_push_pop_cancel(self):
+        queue = EventQueue()
+        events = [queue.push(float(t), lambda: None) for t in range(4)]
+        assert len(queue) == 4
+        queue.pop()
+        assert len(queue) == 3
+        events[2].cancel()
+        assert len(queue) == 2
+        while queue.pop() is not None:
+            pass
+        assert len(queue) == 0
+
+    def test_double_cancel_does_not_corrupt_len(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        event = queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is first
+        popped.cancel()  # fired-then-cancelled must not double-decrement
+        assert len(queue) == 1
+
+    def test_len_stays_consistent_after_peek_discards_cancelled(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 5.0
+        assert len(queue) == 1
+
+    def test_len_is_constant_time(self):
+        # The live count must be maintained incrementally: polling len()
+        # inside a simulator loop was O(heap) and made such loops
+        # quadratic in the number of scheduled events.
+        queue = EventQueue()
+        for t in range(10_000):
+            queue.push(float(t), lambda: None)
+        import timeit
+
+        elapsed = timeit.timeit(lambda: len(queue), number=10_000)
+        assert elapsed < 0.5  # a heap scan would take tens of seconds
+
     def test_peek_time_skips_cancelled_head(self):
         queue = EventQueue()
         head = queue.push(1.0, lambda: None)

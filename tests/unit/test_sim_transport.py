@@ -63,11 +63,29 @@ class TestTransport:
         assert received == {1: ["b"], 2: ["b"]}
         assert transport.messages_sent == 2
 
-    def test_unregistered_destination_is_dropped_silently(self):
+    def test_unregistered_destination_counts_as_lost(self):
         sim = Simulator()
-        transport = Transport(sim, FixedLatency(0.1))
+        transport = Transport(sim, FixedLatency(0.1), trace=True)
         transport.send(0, 9, "void")
         sim.run()  # must not raise
+        assert transport.messages_lost == 1
+        assert len(transport.deliveries) == 1
+        assert transport.deliveries[0].undeliverable
+        assert transport.deliveries[0].lost
+
+    def test_late_registration_before_delivery_still_receives(self):
+        sim = Simulator()
+        transport = Transport(sim, FixedLatency(0.5))
+        received = []
+        transport.send(0, 1, "early")
+        # The destination registers after the send but before delivery
+        # fires: the message must arrive and not be counted lost.
+        sim.schedule(0.1, lambda: transport.register(
+            1, lambda src, payload: received.append(payload)
+        ))
+        sim.run()
+        assert received == ["early"]
+        assert transport.messages_lost == 0
 
     def test_double_registration_rejected(self):
         sim = Simulator()
