@@ -1,0 +1,63 @@
+"""Fault robustness: decision-latency degradation under injected faults.
+
+The guard benchmark of the fault-injection subsystem: re-measures the
+paper's ``P_M`` and rounds-to-decision on the shared WAN sweep with each
+canonical :class:`FaultPlan` applied, records the full clean-vs-faulted
+table, and pins the shape conclusions — link-killing faults can only
+lower ``P_M``, and the canonical crash-and-recover plan inflicts a
+measurable decision-latency cost on at least one timing model.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import MEASURED_MODELS
+from repro.experiments.robustness import (
+    CANONICAL_TIMEOUT,
+    measure_robustness,
+    render_robustness,
+)
+
+#: Fault classes that only remove deliveries (no permanent crashes, so
+#: the correct set the model predicates quantify over is unchanged):
+#: model satisfaction is monotone in deliveries, hence P_M cannot rise.
+LINK_ONLY_FAULTS = ("loss burst", "partition", "slow node")
+
+
+def test_fault_robustness(benchmark, wan_sweep, wan_config, save_result):
+    timeout = min(
+        wan_config.timeouts, key=lambda t: abs(t - CANONICAL_TIMEOUT)
+    )
+    cells = benchmark.pedantic(
+        measure_robustness,
+        kwargs=dict(sweep=wan_sweep, seed=wan_config.seed, timeout=timeout),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fault_robustness", render_robustness(cells, timeout))
+
+    # Full grid: every (fault class, model) pair measured once.
+    faults = {cell.fault for cell in cells}
+    assert faults == {
+        "crash+recover", "loss burst", "partition", "slow node",
+        "leader churn",
+    }
+    for fault in faults:
+        models = {cell.model for cell in cells if cell.fault == fault}
+        assert models == set(MEASURED_MODELS), fault
+
+    for cell in cells:
+        assert 0.0 <= cell.pm_clean <= 1.0
+        assert 0.0 <= cell.pm_faulted <= 1.0
+        if cell.fault in LINK_ONLY_FAULTS:
+            assert cell.pm_faulted <= cell.pm_clean + 1e-12, cell
+
+    # The canonical crash-and-recover plan must cost something: at least
+    # one model's measured decision latency degrades by over 5%.
+    crash_cells = [cell for cell in cells if cell.fault == "crash+recover"]
+    ratios = [
+        cell.latency_degradation
+        for cell in crash_cells
+        if np.isfinite(cell.latency_degradation)
+    ]
+    assert ratios, "every crash+recover cell was censored"
+    assert max(ratios) > 1.05, ratios

@@ -55,9 +55,29 @@ def decision_stats(
         model = get_model(model)
     if window is None:
         window = model.decision_rounds
+    satisfied = satisfaction_vector(matrices, model, leader)
+    return decision_stats_from_vector(
+        satisfied, window, round_length, start_points, rng=rng
+    )
+
+
+def decision_stats_from_vector(
+    satisfied: np.ndarray,
+    window: int,
+    round_length: float,
+    start_points: int,
+    rng: Optional[np.random.Generator] = None,
+) -> DecisionStats:
+    """Measure decisions on a precomputed per-round satisfaction vector.
+
+    This is the same protocol as :func:`decision_stats`, split out for
+    callers whose satisfaction criterion varies by round — e.g. the fault
+    robustness phase, where leader churn makes the leader-based models'
+    acting leader a per-round quantity.
+    """
     if rng is None:
         rng = np.random.default_rng(0)
-    satisfied = satisfaction_vector(matrices, model, leader)
+    satisfied = np.asarray(satisfied, dtype=bool)
     total_rounds = len(satisfied)
     if total_rounds < window + 1:
         raise ValueError("trace too short for the decision window")

@@ -1,0 +1,297 @@
+"""The robustness phase: decision latency and P_M under injected faults.
+
+For each canonical fault class — crash-and-recover, a message-loss
+burst, a network partition, a slow node, leader churn — the phase takes
+the WAN sweep's already-sampled delivery matrices (so it reuses the
+trace cache and the parallel engine's work: no new simulation), applies
+the class's :class:`~repro.faults.plan.FaultPlan` with
+:meth:`FaultPlan.apply_to_matrices`, and re-measures what the paper's
+figures measure: per-model ``P_M`` and rounds to global decision.
+
+The output table shows clean versus faulted values side by side — the
+degradation each fault class inflicts on each timing model, which is the
+experimental form of the paper's question "which model should you
+assume?": a model whose ``P_M`` collapses under a realistic fault class
+is a bad bet no matter how it scores on a clean network.
+
+Run it through ``python -m repro.experiments --faults`` or directly via
+:func:`robustness_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.decision import decision_stats_from_vector
+from repro.experiments.figures import MEASURED_MODELS, WanSweep, run_wan_sweep
+from repro.models.registry import get_model
+from repro.faults import (
+    Crash,
+    FaultPlan,
+    LeaderChurn,
+    LossBurst,
+    Partition,
+    SlowNode,
+)
+from repro.net.planetlab import LEADER_NODE
+from repro.sim.rng import derive_seed
+
+#: The timeout the robustness tables are measured at (the sweep grid's
+#: canonical mid-range point; the paper's WAN discussion centers there).
+CANONICAL_TIMEOUT = 0.21
+
+
+def canonical_plans(n: int, rounds: int, seed: int) -> dict[str, FaultPlan]:
+    """One representative plan per fault class, scaled to ``rounds``.
+
+    Every window sits inside the first two thirds of the trace so the
+    post-fault tail is long enough for decision windows to complete.
+    """
+    third = max(4, rounds // 3)
+    return {
+        "crash+recover": FaultPlan(
+            n=n,
+            crashes=(
+                Crash(pid=2, at_round=third // 2, recover_round=third),
+                Crash(pid=5, at_round=third + third // 2),
+            ),
+            seed=derive_seed(seed, "faults:crash+recover"),
+        ),
+        "loss burst": FaultPlan(
+            n=n,
+            loss_bursts=(
+                LossBurst(third // 2, third // 2 + 3, drop_prob=0.95),
+                LossBurst(third, third + 1, drop_prob=1.0),
+            ),
+            seed=derive_seed(seed, "faults:loss-burst"),
+        ),
+        "partition": FaultPlan(
+            n=n,
+            partitions=(
+                Partition(
+                    groups=(
+                        tuple(range(n // 2)),
+                        tuple(range(n // 2, n)),
+                    ),
+                    start_round=third // 2,
+                    heal_round=third,
+                ),
+            ),
+            seed=derive_seed(seed, "faults:partition"),
+        ),
+        "slow node": FaultPlan(
+            n=n,
+            slow_nodes=(
+                SlowNode(
+                    pid=n - 1,
+                    start_round=1,
+                    end_round=2 * third,
+                    drop_prob=0.7,
+                ),
+            ),
+            seed=derive_seed(seed, "faults:slow-node"),
+        ),
+        "leader churn": FaultPlan(
+            n=n,
+            leader_churn=(LeaderChurn(1, 2 * third),),
+            seed=derive_seed(seed, "faults:leader-churn"),
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class RobustnessCell:
+    """Clean-versus-faulted measurements for one (fault, model) pair."""
+
+    fault: str
+    model: str
+    pm_clean: float
+    pm_faulted: float
+    rounds_clean: float
+    rounds_faulted: float
+
+    @property
+    def latency_degradation(self) -> float:
+        """Faulted over clean decision rounds (nan if either is censored)."""
+        if not np.isfinite(self.rounds_clean) or self.rounds_clean <= 0:
+            return float("nan")
+        return self.rounds_faulted / self.rounds_clean
+
+
+def _satisfaction(
+    matrices: np.ndarray,
+    model: str,
+    leader: Optional[int],
+    plan: Optional[FaultPlan],
+) -> np.ndarray:
+    """Per-round model satisfaction, against the round's *acting* leader.
+
+    Leader churn never touches the wire, so its whole measured effect is
+    that churn rounds are judged against whichever leader the plan's
+    oracle elected that round instead of the designated one.  Permanent
+    crashes shrink the correct set the model predicates quantify over
+    (the paper's models count links *from correct processes*).
+    """
+    resolved = get_model(model)
+    correct = None
+    if plan is not None and len(plan.correct()) < plan.n:
+        correct = sorted(plan.correct())
+    if (
+        plan is None
+        or not resolved.needs_leader
+        or not plan.leader_churn
+    ):
+        return resolved.satisfied_batch(
+            np.asarray(matrices), leader=leader, correct=correct
+        )
+    return np.array(
+        [
+            resolved.satisfied(
+                matrix,
+                leader=(
+                    plan.churn_leader(k) if plan.churning_at(k) else leader
+                ),
+                correct=correct,
+            )
+            for k, matrix in enumerate(np.asarray(matrices), start=1)
+        ],
+        dtype=bool,
+    )
+
+
+def _mean_decision_rounds(
+    vectors_by_run: Sequence[np.ndarray],
+    model: str,
+    timeout: float,
+    start_points: int,
+    seed: int,
+) -> float:
+    """Mean measured rounds to global decision across runs (nan if every
+    start point of every run was censored)."""
+    window = get_model(model).decision_rounds
+    means = []
+    for index, satisfied in enumerate(vectors_by_run):
+        stats = decision_stats_from_vector(
+            satisfied,
+            window,
+            round_length=timeout,
+            start_points=start_points,
+            rng=np.random.default_rng(
+                derive_seed(seed, f"faults:decision:{model}:{index}")
+            ),
+        )
+        if np.isfinite(stats.mean_rounds):
+            means.append(stats.mean_rounds)
+    return float(np.mean(means)) if means else float("nan")
+
+
+def measure_robustness(
+    sweep: WanSweep,
+    seed: int = 0,
+    timeout: Optional[float] = None,
+    plans: Optional[dict[str, FaultPlan]] = None,
+) -> list[RobustnessCell]:
+    """Clean-versus-faulted P_M and decision latency per (fault, model)."""
+    config = sweep.config
+    if timeout is None:
+        timeout = min(
+            config.timeouts, key=lambda t: abs(t - CANONICAL_TIMEOUT)
+        )
+    runs = sweep.runs[timeout]
+    clean = [run.matrices for run in runs]
+    if plans is None:
+        plans = canonical_plans(config.n, config.rounds_per_run, seed)
+
+    def leader_for(model: str) -> Optional[int]:
+        return sweep.leader if model in ("LM", "WLM") else None
+
+    def vectors(
+        matrices_by_run: Sequence[np.ndarray],
+        model: str,
+        plan: Optional[FaultPlan],
+    ) -> list[np.ndarray]:
+        return [
+            _satisfaction(m, model, leader_for(model), plan)
+            for m in matrices_by_run
+        ]
+
+    def summarize(vecs: Sequence[np.ndarray], model: str) -> tuple[float, float]:
+        pm = float(np.mean([vec.mean() for vec in vecs]))
+        rounds = _mean_decision_rounds(
+            vecs, model, timeout, config.start_points, seed
+        )
+        return pm, rounds
+
+    clean_summary = {
+        model: summarize(vectors(clean, model, None), model)
+        for model in MEASURED_MODELS
+    }
+
+    cells: list[RobustnessCell] = []
+    for fault_name, plan in plans.items():
+        faulted = [plan.apply_to_matrices(matrices) for matrices in clean]
+        for model in MEASURED_MODELS:
+            pm_clean, rounds_clean = clean_summary[model]
+            pm_faulted, rounds_faulted = summarize(
+                vectors(faulted, model, plan), model
+            )
+            cells.append(
+                RobustnessCell(
+                    fault=fault_name,
+                    model=model,
+                    pm_clean=pm_clean,
+                    pm_faulted=pm_faulted,
+                    rounds_clean=rounds_clean,
+                    rounds_faulted=rounds_faulted,
+                )
+            )
+    return cells
+
+
+def render_robustness(
+    cells: Sequence[RobustnessCell], timeout: float
+) -> str:
+    """The robustness table, in the benchmarks' plain-text style."""
+    title = (
+        f"Fault robustness at timeout {timeout * 1000:.0f} ms "
+        f"(P_M and rounds to decision, clean -> faulted)"
+    )
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'fault class':<16}{'model':<7}{'P_M clean':>10}{'P_M fault':>10}"
+        f"{'D clean':>10}{'D fault':>10}{'D ratio':>9}"
+    )
+    for cell in cells:
+        ratio = cell.latency_degradation
+        lines.append(
+            f"{cell.fault:<16}{cell.model:<7}"
+            f"{cell.pm_clean:>10.3f}{cell.pm_faulted:>10.3f}"
+            f"{cell.rounds_clean:>10.2f}{cell.rounds_faulted:>10.2f}"
+            + (f"{ratio:>9.2f}" if np.isfinite(ratio) else f"{'-':>9}")
+        )
+    lines.append(
+        "notes: faulted matrices are the sweep's cached traces with each "
+        "fault class's FaultPlan mask applied; '-' = censored (no decision "
+        "window inside the trace)."
+    )
+    return "\n".join(lines)
+
+
+def robustness_report(
+    sweep: Optional[WanSweep] = None,
+    config: Optional[SweepConfig] = None,
+    seed: int = 0,
+) -> str:
+    """Measure and render the robustness phase (building the sweep only
+    if the caller has none to share)."""
+    if sweep is None:
+        sweep = run_wan_sweep(config) if config is not None else run_wan_sweep()
+    timeout = min(
+        sweep.config.timeouts, key=lambda t: abs(t - CANONICAL_TIMEOUT)
+    )
+    cells = measure_robustness(sweep, seed=seed, timeout=timeout)
+    return render_robustness(cells, timeout)

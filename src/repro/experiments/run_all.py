@@ -46,6 +46,7 @@ from repro.experiments.parallel import (
     run_wan_sweep_parallel,
 )
 from repro.experiments.report import render_comparison, render_series
+from repro.experiments.robustness import robustness_report
 
 
 def headline_numbers() -> str:
@@ -126,6 +127,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the on-disk trace cache",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="also run the fault-robustness phase (P_M and decision "
+        "latency under crash/loss/partition/slow-node/churn plans)",
+    )
     args = parser.parse_args(argv)
 
     wan_config = PAPER if args.scale == "paper" else QUICK
@@ -151,13 +158,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  wrote {args.out / name}.txt")
 
     start = time.time()
-    print("[1/4] analysis figures (Section 4.2)")
+    phases = "5" if args.faults else "4"
+    print(f"[1/{phases}] analysis figures (Section 4.2)")
     emit("fig1a", figure_1a(), y_log=True)
     emit("fig1b", figure_1b(), y_log=True)
     (args.out / "headline.txt").write_text(headline_numbers() + "\n")
     print(f"  wrote {args.out / 'headline.txt'}")
 
-    print("[2/4] LAN measurement (Section 5.2)")
+    print(f"[2/{phases}] LAN measurement (Section 5.2)")
     lan_progress = _PhaseProgress("LAN sweep")
     if jobs > 1:
         fig1c = figure_1c_parallel(lan_config, jobs=jobs, progress=lan_progress)
@@ -166,7 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     lan_progress.finish(len(lan_config.timeouts) * lan_config.runs)
     emit("fig1c", fig1c)
 
-    print("[3/4] WAN sweep (Section 5.3) — this is the slow part")
+    print(f"[3/{phases}] WAN sweep (Section 5.3) — this is the slow part")
     wan_progress = _PhaseProgress("WAN sweep")
     if jobs > 1:
         sweep = run_wan_sweep_parallel(
@@ -176,13 +184,23 @@ def main(argv: list[str] | None = None) -> int:
         sweep = run_wan_sweep(wan_config)
     wan_progress.finish(len(wan_config.timeouts) * wan_config.runs)
 
-    print("[4/4] WAN figures")
+    print(f"[4/{phases}] WAN figures")
     emit("fig1d", figure_1d(sweep=sweep))
     emit("fig1e", figure_1e(sweep=sweep))
     emit("fig1f", figure_1f(sweep=sweep))
     emit("fig1g", figure_1g(sweep=sweep))
     emit("fig1h", figure_1h(sweep=sweep))
     emit("fig1i", figure_1i(sweep=sweep))
+
+    if args.faults:
+        # Reuses the sweep already in memory (and therefore the trace
+        # cache): the fault masks are applied to the cached matrices, so
+        # this phase simulates nothing new.
+        print(f"[5/{phases}] fault robustness")
+        (args.out / "faults.txt").write_text(
+            robustness_report(sweep=sweep, seed=wan_config.seed) + "\n"
+        )
+        print(f"  wrote {args.out / 'faults.txt'}")
 
     if cache is not None:
         print(

@@ -1,0 +1,55 @@
+"""Unified fault injection: one declarative plan, every runner.
+
+A :class:`FaultPlan` scripts crashes (with optional recovery),
+message-loss bursts, network partitions, slow-node episodes, clock-offset
+steps and forced leader churn on a 1-based round timeline.  The same plan
+drives
+
+- the lockstep GIRAF runner, via :func:`inject_lockstep` /
+  :class:`FaultSchedule` (delivery-matrix masking + crash plan + churned
+  oracle), and
+- the event-driven stack, via :func:`faulty_transport_factory` /
+  :class:`PlanLinkFaults` on the wire plus the ``fault_plan`` hooks of
+  :class:`repro.sync.round_sync.SyncRun` for node-level faults,
+
+with every random choice derived from the plan's seed by the codebase's
+SHA-256 rule, so both paths realize the scenario bit-reproducibly.
+"""
+
+from repro.faults.plan import (
+    Crash,
+    ClockStep,
+    FaultPlan,
+    LeaderChurn,
+    LossBurst,
+    Partition,
+    SlowNode,
+)
+from repro.faults.lockstep import (
+    ChurningOracle,
+    FaultSchedule,
+    faulty_lockstep_runner,
+    inject_lockstep,
+)
+from repro.faults.event import (
+    PlanLinkFaults,
+    faulty_transport_factory,
+    install_plan,
+)
+
+__all__ = [
+    "Crash",
+    "ClockStep",
+    "FaultPlan",
+    "LeaderChurn",
+    "LossBurst",
+    "Partition",
+    "SlowNode",
+    "ChurningOracle",
+    "FaultSchedule",
+    "faulty_lockstep_runner",
+    "inject_lockstep",
+    "PlanLinkFaults",
+    "faulty_transport_factory",
+    "install_plan",
+]

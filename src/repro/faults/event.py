@@ -1,0 +1,105 @@
+"""Fault injection for the event-driven stack.
+
+The event-driven runs have no global round counter — nodes cut rounds
+with local timers — so the plan's round timeline is mapped onto
+simulation time through the run's timeout: round ``k`` covers the window
+``[(k-1) * timeout, k * timeout)``, the same back-to-back idealization
+the measurement figures use.
+
+:class:`PlanLinkFaults` answers the :class:`~repro.sim.faultlink.LinkFaults`
+protocol from a :class:`~repro.faults.plan.FaultPlan`: partitions,
+frozen processes and loss bursts drop messages, slow-node episodes
+stretch latencies.  Burst drops are deterministic: the decision for the
+``i``-th message a link carries during burst windows comes from
+``SHA-256(seed, link, i)``, never from shared random state, so a rerun —
+or a differently-ordered event interleaving that sends the same messages
+per link — sees the same realization.
+
+Node-level faults (crash, recovery, clock steps) and leader churn cannot
+be expressed on the wire; :class:`~repro.sync.round_sync.SyncRun` takes
+the plan directly and drives its nodes' crash/recover/clock-step hooks
+(see ``fault_plan`` there).  :func:`faulty_transport_factory` builds the
+matching transport.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.sim.events import Simulator
+from repro.sim.faultlink import FaultyLinkModel
+from repro.sim.rng import derive_seed
+from repro.sim.transport import LinkModel, Transport
+
+#: One uniform draw from SHA-256 output: 53 bits into [0, 1).
+_DENOMINATOR = float(1 << 53)
+
+
+def _uniform(seed: int, name: str) -> float:
+    """A deterministic uniform in [0, 1) for ``(seed, name)``."""
+    return (derive_seed(seed, name) >> 11) / _DENOMINATOR
+
+
+class PlanLinkFaults:
+    """A :class:`FaultPlan`, viewed per message by the transport."""
+
+    def __init__(self, plan: FaultPlan, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.plan = plan
+        self.timeout = timeout
+        self._burst_counters: dict[tuple[int, int], int] = {}
+
+    def round_of(self, now: float) -> int:
+        """The 1-based plan round covering simulation time ``now``."""
+        return max(1, int(now // self.timeout) + 1)
+
+    def drop(self, src: int, dst: int, now: float) -> bool:
+        round_number = self.round_of(now)
+        plan = self.plan
+        if plan.down_at(src, round_number) or plan.down_at(dst, round_number):
+            return True
+        if plan.partitioned(src, dst, round_number):
+            return True
+        for index, burst in enumerate(plan.loss_bursts):
+            if not burst.active_at(round_number):
+                continue
+            count = self._burst_counters.get((src, dst), 0)
+            self._burst_counters[(src, dst)] = count + 1
+            draw = _uniform(
+                plan.seed, f"faults:burst:{index}:{src}:{dst}:{count}"
+            )
+            if draw < burst.drop_prob:
+                return True
+        return False
+
+    def latency_factor(self, src: int, dst: int, now: float) -> float:
+        round_number = self.round_of(now)
+        return self.plan.slow_factor(src, round_number) * self.plan.slow_factor(
+            dst, round_number
+        )
+
+
+def install_plan(transport: Transport, plan: FaultPlan, timeout: float) -> None:
+    """Wrap ``transport``'s link model with the plan's link-level faults."""
+    transport.link_model = FaultyLinkModel(
+        transport.link_model, PlanLinkFaults(plan, timeout)
+    )
+
+
+def faulty_transport_factory(
+    plan: FaultPlan,
+    link_model: LinkModel,
+    timeout: float,
+    trace: bool = False,
+) -> Callable[[Simulator], Transport]:
+    """A ``transport_factory`` (as :class:`SyncRun` expects) whose
+    transports carry the plan's link-level faults."""
+
+    def factory(simulator: Simulator) -> Transport:
+        transport = Transport(simulator, link_model, trace=trace)
+        install_plan(transport, plan, timeout)
+        return transport
+
+    return factory

@@ -1,0 +1,106 @@
+"""Fault injection for the lockstep GIRAF runner.
+
+The lockstep runner sees the world as per-round delivery matrices plus a
+:class:`~repro.giraf.schedule.CrashPlan`; injecting a
+:class:`~repro.faults.plan.FaultPlan` therefore means masking the
+matrices (:class:`FaultSchedule`), extracting the permanent crashes
+(:meth:`FaultPlan.to_crash_plan`), and perturbing the oracle during
+churn windows (:class:`ChurningOracle`).  :func:`inject_lockstep`
+bundles the three.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.giraf.oracle import Oracle
+from repro.giraf.runner import LockstepRunner
+from repro.giraf.schedule import CrashPlan, Schedule
+
+
+class FaultSchedule(Schedule):
+    """A base schedule with a :class:`FaultPlan`'s mask applied per round.
+
+    Messages the plan kills are *lost* (not late): bursts, partitions,
+    slow-node misses and frozen processes all make the message useless to
+    a round-driven algorithm, exactly like the base schedules' losses.
+    """
+
+    def __init__(self, base: Schedule, plan: FaultPlan) -> None:
+        if base.n != plan.n:
+            raise ValueError(
+                f"schedule is for n={base.n}, plan for n={plan.n}"
+            )
+        super().__init__(base.n)
+        self._base = base
+        self.plan = plan
+        self._cache: dict[int, np.ndarray] = {}
+
+    def matrix(self, round_number: int) -> np.ndarray:
+        cached = self._cache.get(round_number)
+        if cached is None:
+            cached = self._base.matrix(round_number) & ~self.plan.mask(
+                round_number
+            )
+            np.fill_diagonal(cached, True)
+            self._cache[round_number] = cached
+        return cached
+
+    def delivered_round(
+        self, round_number: int, src: int, dst: int
+    ) -> Optional[int]:
+        if self.plan.mask(round_number)[dst, src]:
+            return None
+        return self._base.delivered_round(round_number, src, dst)
+
+
+class ChurningOracle(Oracle):
+    """Wraps an oracle; during churn windows every round elects a fresh
+    pseudo-random leader (the same one for every querying process)."""
+
+    def __init__(self, base: Oracle, plan: FaultPlan) -> None:
+        self._base = base
+        self.plan = plan
+
+    def query(self, pid: int, round_number: int) -> Any:
+        if self.plan.churning_at(round_number):
+            return self.plan.churn_leader(round_number)
+        return self._base.query(pid, round_number)
+
+    def observe(self, round_number: int, delivered: np.ndarray) -> None:
+        observe = getattr(self._base, "observe", None)
+        if observe is not None:
+            observe(round_number, delivered)
+
+
+def inject_lockstep(
+    plan: FaultPlan, schedule: Schedule, oracle: Oracle
+) -> tuple[FaultSchedule, Oracle, CrashPlan]:
+    """The three lockstep ingredients a plan implies, ready for
+    :class:`~repro.giraf.runner.LockstepRunner`."""
+    wrapped_oracle: Oracle = oracle
+    if plan.leader_churn:
+        wrapped_oracle = ChurningOracle(oracle, plan)
+    return FaultSchedule(schedule, plan), wrapped_oracle, plan.to_crash_plan()
+
+
+def faulty_lockstep_runner(
+    plan: FaultPlan,
+    algorithm_factory,
+    oracle: Oracle,
+    schedule: Schedule,
+) -> LockstepRunner:
+    """A :class:`LockstepRunner` with the whole plan injected."""
+    fault_schedule, wrapped_oracle, crash_plan = inject_lockstep(
+        plan, schedule, oracle
+    )
+    return LockstepRunner(
+        plan.n,
+        algorithm_factory,
+        wrapped_oracle,
+        fault_schedule,
+        crash_plan=crash_plan,
+    )

@@ -1,0 +1,341 @@
+"""The declarative fault-scenario language: :class:`FaultPlan`.
+
+DESIGN.md promises failure injection — crashes below the resilience
+bound, message-loss bursts, partitions, slow nodes, clock trouble and
+leader churn — but the knobs for those lived scattered across
+``giraf.schedule`` (:class:`~repro.giraf.schedule.CrashPlan`), the
+adversarial schedules, and ad-hoc network-profile parameters, and none
+of them reached the event-driven :class:`~repro.sync.round_sync.SyncRun`
+path.  A :class:`FaultPlan` is the single declarative timeline that both
+execution paths consume:
+
+- the lockstep GIRAF runner, through
+  :class:`~repro.faults.lockstep.FaultSchedule` (which masks delivery
+  matrices) plus :meth:`FaultPlan.to_crash_plan`;
+- the event-driven stack, through
+  :class:`~repro.faults.event.PlanLinkFaults` (installed on the
+  transport's link model) plus the crash/recover/clock-step hooks of
+  :class:`~repro.sync.round_sync.SyncRun`.
+
+Rounds are 1-based, matching the schedules.  Every random choice a plan
+implies (which burst messages drop, which leader a churn round elects)
+is derived from the plan's ``seed`` with the same SHA-256 rule as
+:meth:`repro.sim.rng.RandomStreams.spawn`, so the two injectors — and
+repeated runs of either — see bit-identical fault realizations.
+
+Crash semantics: a crash with ``recover_round=None`` is permanent and
+(on the lockstep path) becomes a :class:`CrashPlan` entry.  A crash
+*with* a recovery round models crash-recovery with stable storage: the
+process freezes — sends nothing, hears nothing — and resumes with its
+state intact.  On the lockstep path the freeze is expressed through the
+delivery mask (the process sleeps through the rounds); on the event path
+the node's timers are actually paused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.giraf.schedule import CrashPlan
+from repro.sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Process ``pid`` dies at the start of ``at_round``.
+
+    With ``recover_round`` it wakes at the start of that round (state
+    intact); without, it is gone for good.  ``final_sends`` optionally
+    restricts the dying round's broadcast to a subset of destinations
+    (the crash-mid-broadcast adversary; permanent crashes only).
+    """
+
+    pid: int
+    at_round: int
+    recover_round: Optional[int] = None
+    final_sends: Optional[frozenset[int]] = None
+
+    def down_at(self, round_number: int) -> bool:
+        if round_number < self.at_round:
+            return False
+        return self.recover_round is None or round_number < self.recover_round
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Every off-diagonal message in rounds ``[start_round, end_round]``
+    independently goes missing with probability ``drop_prob``."""
+
+    start_round: int
+    end_round: int
+    drop_prob: float = 1.0
+
+    def active_at(self, round_number: int) -> bool:
+        return self.start_round <= round_number <= self.end_round
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The network splits into ``groups`` for rounds
+    ``[start_round, heal_round)``; cross-group messages are lost."""
+
+    groups: tuple[tuple[int, ...], ...]
+    start_round: int
+    heal_round: int
+
+    def active_at(self, round_number: int) -> bool:
+        return self.start_round <= round_number < self.heal_round
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Node ``pid`` runs degraded during ``[start_round, end_round]``.
+
+    On the event path its links' latencies are multiplied by ``factor``;
+    on the lockstep path (which has no latencies, only timeliness) each
+    of its off-diagonal messages — in either direction — independently
+    misses the round with probability ``drop_prob``.
+    """
+
+    pid: int
+    start_round: int
+    end_round: int
+    factor: float = 3.0
+    drop_prob: float = 0.8
+
+    def active_at(self, round_number: int) -> bool:
+        return self.start_round <= round_number <= self.end_round
+
+
+@dataclass(frozen=True)
+class ClockStep:
+    """Node ``pid``'s local clock jumps by ``offset`` seconds at the start
+    of ``at_round``.  Event path only (the lockstep runner has no clocks):
+    a forward step shortens the round in progress, a backward step
+    stretches it."""
+
+    pid: int
+    at_round: int
+    offset: float
+
+
+@dataclass(frozen=True)
+class LeaderChurn:
+    """During rounds ``[start_round, end_round]`` the Ω oracle's output
+    churns: every round elects a fresh pseudo-random leader."""
+
+    start_round: int
+    end_round: int
+
+    def active_at(self, round_number: int) -> bool:
+        return self.start_round <= round_number <= self.end_round
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full fault scenario for an ``n``-process system.
+
+    The plan is pure data plus deterministic derivations: every question
+    an injector asks ("is this link down in round k?", "who leads round
+    k?") is answered from ``(seed, question)`` by SHA-256, never from
+    shared mutable random state — which is what makes one plan drive the
+    lockstep and event-driven runners bit-reproducibly.
+    """
+
+    n: int
+    crashes: tuple[Crash, ...] = ()
+    loss_bursts: tuple[LossBurst, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    slow_nodes: tuple[SlowNode, ...] = ()
+    clock_steps: tuple[ClockStep, ...] = ()
+    leader_churn: tuple[LeaderChurn, ...] = ()
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Validation.
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("a distributed system needs at least 2 processes")
+        crash_pids = {c.pid for c in self.crashes}
+        if len(crash_pids) >= (self.n + 1) // 2:
+            raise ValueError(
+                f"{len(crash_pids)} crashing processes violate the <n/2 "
+                f"bound for n={self.n}"
+            )
+        for crash in self.crashes:
+            if not 0 <= crash.pid < self.n:
+                raise ValueError(f"crash pid {crash.pid} out of range")
+            if crash.at_round < 1:
+                raise ValueError("crash rounds are 1-based")
+            if crash.recover_round is not None:
+                if crash.recover_round <= crash.at_round:
+                    raise ValueError("recovery must follow the crash")
+                if crash.final_sends is not None:
+                    raise ValueError(
+                        "final_sends models dying mid-broadcast; a "
+                        "recovering process does not die"
+                    )
+        for burst in self.loss_bursts:
+            if burst.start_round < 1 or burst.end_round < burst.start_round:
+                raise ValueError(f"bad burst window {burst}")
+            if not 0.0 <= burst.drop_prob <= 1.0:
+                raise ValueError("drop_prob must be a probability")
+        for partition in self.partitions:
+            seen: set[int] = set()
+            for group in partition.groups:
+                for pid in group:
+                    if pid in seen:
+                        raise ValueError(f"process {pid} in two groups")
+                    if not 0 <= pid < self.n:
+                        raise ValueError(f"process {pid} out of range")
+                    seen.add(pid)
+            if seen != set(range(self.n)):
+                raise ValueError("partition groups must cover all processes")
+            if partition.start_round < 1 or partition.heal_round <= partition.start_round:
+                raise ValueError(f"bad partition window {partition}")
+        for slow in self.slow_nodes:
+            if not 0 <= slow.pid < self.n:
+                raise ValueError(f"slow pid {slow.pid} out of range")
+            if slow.start_round < 1 or slow.end_round < slow.start_round:
+                raise ValueError(f"bad slow-node window {slow}")
+            if slow.factor < 1.0:
+                raise ValueError("a slow node's factor must be >= 1")
+            if not 0.0 <= slow.drop_prob <= 1.0:
+                raise ValueError("drop_prob must be a probability")
+        for step in self.clock_steps:
+            if not 0 <= step.pid < self.n:
+                raise ValueError(f"clock-step pid {step.pid} out of range")
+            if step.at_round < 1:
+                raise ValueError("clock-step rounds are 1-based")
+        for churn in self.leader_churn:
+            if churn.start_round < 1 or churn.end_round < churn.start_round:
+                raise ValueError(f"bad churn window {churn}")
+
+    # ------------------------------------------------------------------
+    # Deterministic derivations.
+    # ------------------------------------------------------------------
+    def rng(self, *parts: object) -> np.random.Generator:
+        """A generator keyed by ``(seed, question)`` via SHA-256 — the one
+        derivation rule of the codebase (:func:`repro.sim.rng.derive_seed`)."""
+        name = "faults:" + ":".join(str(part) for part in parts)
+        return np.random.default_rng(derive_seed(self.seed, name))
+
+    def down_at(self, pid: int, round_number: int) -> bool:
+        """Is ``pid`` dead or frozen at (the start of) this round?"""
+        return any(
+            c.pid == pid and c.down_at(round_number) for c in self.crashes
+        )
+
+    def slow_factor(self, pid: int, round_number: int) -> float:
+        """Latency multiplier of ``pid``'s links in this round (event path)."""
+        factor = 1.0
+        for slow in self.slow_nodes:
+            if slow.pid == pid and slow.active_at(round_number):
+                factor *= slow.factor
+        return factor
+
+    def partitioned(self, src: int, dst: int, round_number: int) -> bool:
+        """Does an active partition separate ``src`` from ``dst``?"""
+        for partition in self.partitions:
+            if not partition.active_at(round_number):
+                continue
+            for group in partition.groups:
+                if src in group:
+                    return dst not in group
+        return False
+
+    def churning_at(self, round_number: int) -> bool:
+        return any(c.active_at(round_number) for c in self.leader_churn)
+
+    def churn_leader(self, round_number: int) -> int:
+        """The pseudo-random leader a churn round elects (same for all
+        processes — churn changes *who* leads, not agreement on it)."""
+        return int(self.rng("churn", round_number).integers(self.n))
+
+    def mask(self, round_number: int) -> np.ndarray:
+        """Boolean ``[dst, src]`` matrix of messages this round's faults
+        force to miss (lockstep view; the diagonal is never masked).
+
+        Deterministic per round: the randomness for bursts and slow nodes
+        is drawn from ``rng("mask", round)`` in a fixed order.
+        """
+        masked = np.zeros((self.n, self.n), dtype=bool)
+        rng = self.rng("mask", round_number)
+        for burst in self.loss_bursts:
+            if burst.active_at(round_number):
+                masked |= rng.random((self.n, self.n)) < burst.drop_prob
+        for slow in self.slow_nodes:
+            if slow.active_at(round_number):
+                rows = rng.random((2, self.n)) < slow.drop_prob
+                masked[slow.pid, :] |= rows[0]
+                masked[:, slow.pid] |= rows[1]
+        for partition in self.partitions:
+            if partition.active_at(round_number):
+                for group in partition.groups:
+                    members = np.zeros(self.n, dtype=bool)
+                    members[list(group)] = True
+                    masked[np.ix_(members, ~members)] = True
+        for crash in self.crashes:
+            # Dead and frozen processes alike send and hear nothing.  (On
+            # the lockstep path the permanent crashes are additionally
+            # real process deaths, via :meth:`to_crash_plan`.)
+            if crash.down_at(round_number):
+                masked[crash.pid, :] = True
+                masked[:, crash.pid] = True
+        np.fill_diagonal(masked, False)
+        return masked
+
+    def apply_to_matrices(self, matrices: np.ndarray) -> np.ndarray:
+        """Faulted copy of a ``[round, dst, src]`` delivery-matrix stack
+        (round ``k`` is ``matrices[k-1]``) — the batch form the
+        measurement figures use."""
+        matrices = np.asarray(matrices)
+        faulted = matrices.copy()
+        for index in range(faulted.shape[0]):
+            faulted[index] &= ~self.mask(index + 1)
+        diag = np.arange(self.n)
+        faulted[:, diag, diag] = matrices[:, diag, diag]
+        return faulted
+
+    def to_crash_plan(self) -> CrashPlan:
+        """The permanent crashes, as the lockstep runner's :class:`CrashPlan`
+        (recoverable crashes are expressed through :meth:`mask` instead)."""
+        crash_rounds = {
+            c.pid: c.at_round for c in self.crashes if c.recover_round is None
+        }
+        final_sends = {
+            c.pid: c.final_sends
+            for c in self.crashes
+            if c.recover_round is None and c.final_sends is not None
+        }
+        return CrashPlan(crash_rounds=crash_rounds, final_sends=final_sends)
+
+    def correct(self) -> frozenset[int]:
+        """Processes that never crash permanently."""
+        permanently_dead = {
+            c.pid for c in self.crashes if c.recover_round is None
+        }
+        return frozenset(pid for pid in range(self.n) if pid not in permanently_dead)
+
+    def quiet_after(self) -> int:
+        """The last round any fault is active: from the next round on the
+        plan no longer perturbs the run (permanent crashes excepted)."""
+        last = 0
+        for crash in self.crashes:
+            if crash.recover_round is not None:
+                last = max(last, crash.recover_round - 1)
+        for burst in self.loss_bursts:
+            last = max(last, burst.end_round)
+        for partition in self.partitions:
+            last = max(last, partition.heal_round - 1)
+        for slow in self.slow_nodes:
+            last = max(last, slow.end_round)
+        for step in self.clock_steps:
+            last = max(last, step.at_round)
+        for churn in self.leader_churn:
+            last = max(last, churn.end_round)
+        return last

@@ -47,20 +47,26 @@ class HeartbeatOmega(Oracle):
         self.suspicion_rounds = suspicion_rounds
         # last_heard[dst, src] = last round in which dst heard src.
         self._last_heard = np.zeros((n, n), dtype=int)
-        self._round = 0
 
     def observe(self, round_number: int, delivered: np.ndarray) -> None:
         """Feed one round's delivery matrix (``delivered[dst, src]``).
 
         The lockstep runner calls this at the end of every round; each
-        process always "hears" itself.
+        process always "hears" itself.  The freshness map is monotone:
+        a repeated or out-of-order observation (replayed matrices, a
+        fault-injected runner re-driving a round) can only confirm that a
+        process was heard, never roll its last-heard round backwards and
+        resurrect suspicion of a live process.
         """
         if delivered.shape != (self.n, self.n):
             raise ValueError("delivery matrix has wrong shape")
-        self._round = max(self._round, round_number)
         heard = delivered.copy()
         np.fill_diagonal(heard, True)
-        self._last_heard[heard] = round_number
+        np.maximum(
+            self._last_heard,
+            np.where(heard, round_number, self._last_heard),
+            out=self._last_heard,
+        )
 
     def trusted(self, pid: int, round_number: int) -> int:
         """The smallest-id process ``pid`` heard within the suspicion window."""

@@ -1,0 +1,49 @@
+"""Fault-aware wrapper around any :class:`~repro.sim.transport.LinkModel`.
+
+The transport stays oblivious to fault scenarios: it samples latencies
+from whatever link model is installed.  :class:`FaultyLinkModel` slots
+between the transport and the real network model and consults a
+:class:`LinkFaults` policy per message — drop it, or stretch its latency
+— which is how loss bursts, partitions and slow-node episodes reach the
+event-driven stack (the policy for a declarative
+:class:`~repro.faults.plan.FaultPlan` is
+:class:`repro.faults.event.PlanLinkFaults`).
+
+The wrapper lives in ``sim/`` because it is substrate, not policy: it
+knows nothing about rounds or plans, only "maybe drop, maybe slow".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.sim.transport import LinkModel
+
+
+class LinkFaults(Protocol):
+    """Per-message fault decisions for a :class:`FaultyLinkModel`."""
+
+    def drop(self, src: int, dst: int, now: float) -> bool:
+        """Kill the message outright?"""
+        ...
+
+    def latency_factor(self, src: int, dst: int, now: float) -> float:
+        """Multiplier applied to the sampled latency (1.0 = untouched)."""
+        ...
+
+
+class FaultyLinkModel:
+    """A :class:`LinkModel` filtered through a :class:`LinkFaults` policy."""
+
+    def __init__(self, base: LinkModel, faults: LinkFaults) -> None:
+        self.base = base
+        self.faults = faults
+
+    def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
+        if self.faults.drop(src, dst, now):
+            return None
+        latency = self.base.sample_latency(src, dst, now)
+        if latency is None:
+            return None
+        factor = self.faults.latency_factor(src, dst, now)
+        return latency if factor == 1.0 else latency * factor

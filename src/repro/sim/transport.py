@@ -73,6 +73,17 @@ class Transport:
         self.messages_sent = 0
         self.messages_lost = 0
 
+    @property
+    def link_model(self) -> LinkModel:
+        """The installed link model.  Assignable: fault injectors wrap the
+        current model (e.g. with :class:`repro.sim.faultlink.FaultyLinkModel`)
+        and install the wrapper without rebuilding the transport."""
+        return self._link_model
+
+    @link_model.setter
+    def link_model(self, model: LinkModel) -> None:
+        self._link_model = model
+
     def register(self, node: int, handler: Callable[[int, Any], None]) -> None:
         """Install ``handler(src, payload)`` as the receive callback of ``node``."""
         if node in self._handlers:

@@ -22,6 +22,9 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.faults.event import install_plan
+from repro.faults.lockstep import ChurningOracle
+from repro.faults.plan import FaultPlan
 from repro.giraf.kernel import GirafAlgorithm
 from repro.giraf.oracle import Oracle
 from repro.giraf.process import GirafProcess
@@ -70,6 +73,8 @@ class SyncedNode:
         self.max_rounds = max_rounds
         self._timer: Optional[Event] = None
         self.running = False
+        self.crashed = False
+        self.crashed_permanently = False
         # Observations.
         self.timely_receipts: dict[int, set[int]] = {}
         self.round_starts: dict[int, float] = {}
@@ -118,17 +123,63 @@ class SyncedNode:
         )
 
     def _on_timer(self) -> None:
-        if not self.running:
+        if not self.running or self.crashed:
             return
         self._timer = None
         self._end_round()
         self._begin_round(self.timeout)
 
     # ------------------------------------------------------------------
+    # Fault hooks (driven by :class:`SyncRun` from a ``FaultPlan``).
+    # ------------------------------------------------------------------
+    def crash(self, permanent: bool = False) -> None:
+        """Freeze the node: no sends, receives, timers, or computation.
+
+        A permanent crash also ends the node's run; a transient one keeps
+        its state for :meth:`recover` (crash-recovery with stable storage).
+        """
+        if not self.running:
+            return
+        self.crashed = True
+        if permanent:
+            self.crashed_permanently = True
+            self.running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def recover(self) -> None:
+        """Wake a transiently crashed node; it restarts its current round
+        (resending that round's messages) and resynchronizes by jumping on
+        the first future-round message it hears."""
+        if not self.crashed or not self.running:
+            return
+        self.crashed = False
+        self._begin_round(self.timeout)
+
+    def apply_clock_step(self, delta_local: float) -> None:
+        """The local clock jumps by ``delta_local`` seconds.
+
+        Deadlines are local, so a pending round timer fires earlier after
+        a forward jump and later after a backward one; the round-length
+        floor still applies.
+        """
+        if self._timer is None or not self.running or self.crashed:
+            return
+        remaining = self._timer.time - self.simulator.now
+        remaining -= self.clock.global_duration(delta_local)
+        self._timer.cancel()
+        self._timer = self.simulator.schedule_in(
+            max(0.0, remaining),
+            self._on_timer,
+            tag=f"round-end:{self.process.pid}:{self.process.round}",
+        )
+
+    # ------------------------------------------------------------------
     # Receive path.
     # ------------------------------------------------------------------
     def _on_receive(self, src: int, wire: _Wire) -> None:
-        if not self.running:
+        if not self.running or self.crashed:
             return
         self.process.receive(wire.round_number, src, wire.payload)
         current = self.process.round
@@ -153,14 +204,19 @@ class SyncRunResult:
     Attributes:
         n: number of nodes.
         matrices: per-round timely-delivery matrices ``A[dst, src]`` for
-            rounds ``1..last_common_round`` (a process that skipped a round
-            contributes only its diagonal entry).
+            rounds ``1..last_common_round``.  A process that skipped a
+            round (jumped over it, or was crashed) contributes an
+            all-``False`` row — including its diagonal entry, since it was
+            not timely even to itself in a round it never executed.
         round_durations: per node, mean executed round duration (seconds).
         jumps: per node, number of fast-forward joins.
         late_messages: per node, messages that arrived after their round.
         decisions: ``pid -> value`` for deciding algorithms.
         sync_error: per round, the spread (max - min) of the nodes'
             round-start times, in seconds — the synchronization quality.
+            Aligned with ``matrices`` (index ``k - 1`` is round ``k``);
+            rounds that not every node executed hold ``nan``, so a jump
+            can never shift later rounds' readings onto the wrong round.
     """
 
     n: int
@@ -186,11 +242,24 @@ class SyncRun:
         clocks: Optional[Sequence[Clock]] = None,
         start_times: Optional[Sequence[float]] = None,
         max_rounds: int = 100,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.n = n
         self.max_rounds = max_rounds
+        self.fault_plan = fault_plan
         self.simulator = Simulator()
         self.transport = transport_factory(self.simulator)
+        if fault_plan is not None:
+            if fault_plan.n != n:
+                raise ValueError(
+                    f"fault plan is for n={fault_plan.n}, run for n={n}"
+                )
+            # Link-level faults (bursts, partitions, slow links, frozen
+            # peers) ride on the wire; round k of the plan maps to the
+            # time window [(k-1)*timeout, k*timeout).
+            install_plan(self.transport, fault_plan, timeout)
+            if fault_plan.leader_churn:
+                oracle = ChurningOracle(oracle, fault_plan)
         if clocks is None:
             clocks = [Clock() for _ in range(n)]
         if start_times is None:
@@ -209,6 +278,42 @@ class SyncRun:
             )
             for pid in range(n)
         ]
+        if fault_plan is not None:
+            self._schedule_node_faults(fault_plan, timeout)
+
+    def _schedule_node_faults(self, plan: FaultPlan, timeout: float) -> None:
+        """Book the plan's node-level faults on the simulator clock."""
+
+        def at(round_number: int) -> float:
+            return (round_number - 1) * timeout
+
+        for crash in plan.crashes:
+            node = self.nodes[crash.pid]
+            permanent = crash.recover_round is None
+            self.simulator.schedule(
+                at(crash.at_round),
+                lambda node=node, permanent=permanent: node.crash(permanent),
+                tag=f"fault:crash:{crash.pid}",
+            )
+            if crash.recover_round is not None:
+                self.simulator.schedule(
+                    at(crash.recover_round),
+                    node.recover,
+                    tag=f"fault:recover:{crash.pid}",
+                )
+        for step in plan.clock_steps:
+            # A hair into the round, not on the boundary: at the exact
+            # round start the previous round's timer is expiring at the
+            # same timestamp, and a step applied to a timer with zero
+            # remaining time is a silent no-op.
+            node = self.nodes[step.pid]
+            self.simulator.schedule(
+                at(step.at_round) + 0.01 * timeout,
+                lambda node=node, offset=step.offset: node.apply_clock_step(
+                    offset
+                ),
+                tag=f"fault:clock-step:{step.pid}",
+            )
 
     def run(self, time_limit: Optional[float] = None) -> SyncRunResult:
         """Run until every node passes ``max_rounds`` (or the time limit)."""
@@ -223,11 +328,20 @@ class SyncRun:
 
     def _collect(self) -> SyncRunResult:
         result = SyncRunResult(n=self.n)
+        # Permanently crashed nodes stop recording rounds at their crash;
+        # they must not truncate the surviving nodes' observations.
+        participants = [
+            node for node in self.nodes if not node.crashed_permanently
+        ] or list(self.nodes)
         last_round = min(
-            max(node.round_ends, default=0) for node in self.nodes
+            max(node.round_ends, default=0) for node in participants
         )
         for k in range(1, last_round + 1):
-            matrix = np.eye(self.n, dtype=bool)
+            # No pre-seeded diagonal: a node that jumped over round k was
+            # not timely even to itself there, and crediting it would
+            # inflate P_M.  Nodes that did execute the round credited
+            # themselves in ``timely_receipts`` when the round began.
+            matrix = np.zeros((self.n, self.n), dtype=bool)
             for dst, node in enumerate(self.nodes):
                 if k in node.round_ends:  # executed (not skipped) round k
                     for src in node.timely_receipts.get(k, ()):
@@ -238,8 +352,14 @@ class SyncRun:
                 for node in self.nodes
                 if k in node.round_starts
             ]
+            # One entry per round, aligned with ``matrices``: rounds some
+            # node never started are nan rather than silently dropped
+            # (dropping them shifted every later reading onto the wrong
+            # round for any run with jumps).
             if len(starts) == self.n:
                 result.sync_error.append(max(starts) - min(starts))
+            else:
+                result.sync_error.append(float("nan"))
         for node in self.nodes:
             durations = [
                 node.round_ends[k] - node.round_starts[k]

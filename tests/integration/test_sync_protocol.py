@@ -41,10 +41,12 @@ class TestSynchronization:
         jumps, after which round starts stay within one round length."""
         starts = [0.25 * i for i in range(8)]
         result = wan_sync_run(starts=starts, max_rounds=60).run()
-        # After warmup, the spread of round starts is below the timeout.
-        assert len(result.sync_error) > 20
-        late_phase = result.sync_error[-15:]
-        assert max(late_phase) < 0.2
+        # After warmup, every node executes every round (no nan padding)
+        # and the spread of round starts is below the timeout.
+        assert len(result.sync_error) == len(result.matrices)
+        late_phase = np.asarray(result.sync_error[-15:])
+        assert not np.isnan(late_phase).any()
+        assert late_phase.max() < 0.2
 
     def test_skewed_clocks_do_not_break_rounds(self):
         clocks = [Clock(offset=0.1 * i, drift=2e-5 * (i - 4)) for i in range(8)]

@@ -42,6 +42,48 @@ class TestMain:
             assert (tmp_path / f"{name}.chart.txt").exists(), name
         assert (tmp_path / "headline.txt").exists()
 
+    def test_faults_flag_writes_robustness_table(self, tmp_path, monkeypatch):
+        """``--faults`` appends the robustness phase, reusing the sweep."""
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=60, runs=2, start_points=3,
+            timeouts=(0.16, 0.21), seed=1,
+        )
+        tiny_lan = SweepConfig(
+            rounds_per_run=40, runs=2, start_points=3,
+            timeouts=(0.0002, 0.0009), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny_lan)
+
+        exit_code = main(["--out", str(tmp_path), "--faults"])
+        assert exit_code == 0
+        table = (tmp_path / "faults.txt").read_text()
+        for fault in (
+            "crash+recover", "loss burst", "partition",
+            "slow node", "leader churn",
+        ):
+            assert fault in table, fault
+        assert "P_M clean" in table and "D ratio" in table
+
+    def test_without_faults_flag_no_robustness_table(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=40, runs=1, start_points=2,
+            timeouts=(0.21,), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny)
+
+        assert main(["--out", str(tmp_path)]) == 0
+        assert not (tmp_path / "faults.txt").exists()
+
     def test_bad_scale_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--scale", "galactic", "--out", str(tmp_path)])

@@ -1,0 +1,165 @@
+"""Regression tests for the round-sync observation bugs.
+
+Three bugs, one file: (1) ``SyncRun._collect`` compacted ``sync_error``
+by skipping rounds some node never started, shifting every later reading
+onto the wrong round for any run with jumps; (2) the per-round delivery
+matrices were seeded with ``np.eye``, crediting a process as timely to
+itself in rounds it jumped over (inflating P_M); (3)
+``HeartbeatOmega.observe`` wrote ``round_number`` unconditionally, so an
+out-of-order observation rolled ``_last_heard`` backwards and
+resurrected suspicion of live processes.
+"""
+
+import numpy as np
+
+from repro.giraf.oracle import NullOracle
+from repro.oracles.omega import HeartbeatOmega
+from repro.sim import Transport
+from repro.sync import HeartbeatAlgorithm, SyncRun
+
+
+class FixedLatency:
+    def __init__(self, latency):
+        self.latency = latency
+
+    def sample_latency(self, src, dst, now):
+        return self.latency
+
+
+def jumpy_run(n=3, timeout=0.2, late_start=0.65, max_rounds=12):
+    """A run whose last node boots mid-trace and fast-forwards over the
+    rounds it slept through."""
+    table = np.full((n, n), 0.05)
+    np.fill_diagonal(table, 0.0)
+    starts = [0.0] * (n - 1) + [late_start]
+    run = SyncRun(
+        n,
+        lambda pid: HeartbeatAlgorithm(pid, n),
+        NullOracle(),
+        lambda sim: Transport(sim, FixedLatency(0.05)),
+        timeout=timeout,
+        latency_table=table,
+        start_times=starts,
+        max_rounds=max_rounds,
+    )
+    return run, run.run()
+
+
+class TestSyncErrorAlignment:
+    """Bug 1: sync_error must stay index-aligned with matrices."""
+
+    def test_one_entry_per_round(self):
+        run, result = jumpy_run()
+        late = run.nodes[-1]
+        assert late.jumps > 0, "fixture must actually produce a jump"
+        assert len(result.sync_error) == len(result.matrices)
+
+    def test_skipped_rounds_are_nan_not_dropped(self):
+        run, result = jumpy_run()
+        late = run.nodes[-1]
+        skipped = [
+            k
+            for k in range(1, len(result.matrices) + 1)
+            if k not in late.round_starts
+        ]
+        assert skipped, "fixture must produce jumped-over rounds"
+        for k in skipped:
+            assert np.isnan(result.sync_error[k - 1]), k
+
+    def test_full_rounds_keep_their_own_reading(self):
+        """Each finite entry is the spread of exactly its round's starts —
+        the compacting bug read a later round's spread here."""
+        run, result = jumpy_run()
+        for k in range(1, len(result.matrices) + 1):
+            starts = [
+                node.round_starts[k]
+                for node in run.nodes
+                if k in node.round_starts
+            ]
+            if len(starts) == run.n:
+                assert result.sync_error[k - 1] == max(starts) - min(starts)
+            else:
+                assert np.isnan(result.sync_error[k - 1])
+
+
+class TestSkippedRoundDiagonal:
+    """Bug 2: a jumped-over round must not self-credit the jumper."""
+
+    def test_skipped_round_row_is_all_false(self):
+        run, result = jumpy_run()
+        late_pid = run.n - 1
+        late = run.nodes[late_pid]
+        skipped = [
+            k
+            for k in range(1, len(result.matrices) + 1)
+            if k not in late.round_ends
+        ]
+        assert skipped, "fixture must produce jumped-over rounds"
+        for k in skipped:
+            row = result.matrices[k - 1][late_pid]
+            assert not row.any(), f"round {k} row {row}"
+            # The old np.eye seeding made exactly this entry True.
+            assert not result.matrices[k - 1][late_pid, late_pid]
+
+    def test_executed_rounds_still_self_credit(self):
+        run, result = jumpy_run()
+        for k in range(1, len(result.matrices) + 1):
+            for pid, node in enumerate(run.nodes):
+                if k in node.round_ends:
+                    assert result.matrices[k - 1][pid, pid], (k, pid)
+
+    def test_inflation_gone(self):
+        """The spurious diagonal made a skipped round count one timely
+        link; P_M computed over the run must not see it."""
+        run, result = jumpy_run()
+        late_pid = run.n - 1
+        late = run.nodes[late_pid]
+        stack = np.stack(result.matrices)
+        skipped = [
+            k for k in range(1, len(stack) + 1) if k not in late.round_ends
+        ]
+        assert stack[[k - 1 for k in skipped], late_pid].sum() == 0
+
+
+class TestOmegaMonotonicity:
+    """Bug 3: out-of-order observations must not roll freshness back."""
+
+    def test_out_of_order_observation_cannot_resurrect_suspicion(self):
+        omega = HeartbeatOmega(n=3, suspicion_rounds=2)
+        omega.observe(5, np.ones((3, 3), dtype=bool))
+        # A replayed (or re-driven) early round arrives late.
+        omega.observe(2, np.ones((3, 3), dtype=bool))
+        # Before the fix _last_heard fell back to 2; at round 6 the
+        # horizon is 4, so every live process looked silent.
+        for pid in range(3):
+            assert omega.trusted(pid, 6) == 0
+
+    def test_silence_in_an_old_round_changes_nothing(self):
+        omega = HeartbeatOmega(n=3, suspicion_rounds=2)
+        omega.observe(5, np.ones((3, 3), dtype=bool))
+        before = omega._last_heard.copy()
+        omega.observe(3, np.zeros((3, 3), dtype=bool))
+        assert (omega._last_heard == before).all()
+
+    def test_repeated_observation_is_idempotent(self):
+        omega = HeartbeatOmega(n=4, suspicion_rounds=3)
+        delivered = np.zeros((4, 4), dtype=bool)
+        delivered[1, 0] = True
+        omega.observe(4, delivered)
+        before = omega._last_heard.copy()
+        omega.observe(4, delivered)
+        assert (omega._last_heard == before).all()
+
+    def test_genuine_silence_still_detected(self):
+        """Monotonicity must not break crash detection: a process that
+        stops being heard in *new* rounds is still dropped."""
+        omega = HeartbeatOmega(n=3, suspicion_rounds=2)
+        omega.observe(1, np.ones((3, 3), dtype=bool))
+        quiet = np.ones((3, 3), dtype=bool)
+        quiet[:, 0] = False  # process 0 goes silent
+        for k in range(2, 6):
+            omega.observe(k, quiet)
+        assert omega.trusted(1, 5) == 1
+
+    def test_write_only_round_counter_removed(self):
+        assert not hasattr(HeartbeatOmega(n=3), "_round")
