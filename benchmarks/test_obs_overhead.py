@@ -1,0 +1,86 @@
+"""Tier-2 guard for telemetry overhead.
+
+The pitch of ``repro.obs`` is that instrumentation is cheap enough to
+leave threaded through the hot paths: counters pre-resolved in
+constructors, no-op singletons when disabled.  This guard measures it —
+the QUICK WAN sweep over a *warm* trace cache (so cell cost is the
+instrumented bookkeeping, not simulation) with a live registry must stay
+within 10% of the uninstrumented wall-clock, best-of-3 each.
+
+Records the measurement in ``benchmarks/results/obs_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments import cache as trace_cache
+from repro.experiments.parallel import run_wan_sweep_parallel
+from repro.obs.registry import MetricsRegistry
+
+#: Maximum tolerated instrumented/uninstrumented wall-clock ratio.
+MAX_OVERHEAD = 1.10
+REPEATS = 3
+
+
+def _best_of(repeats, run):
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+    return best_seconds, result
+
+
+def test_instrumented_sweep_within_overhead_budget(
+    tmp_path, wan_config, save_result, request
+):
+    trace_cache.activate(tmp_path / "trace-cache")
+    request.addfinalizer(trace_cache.deactivate)
+    # Warm the cache: afterwards every cell replays a cached trace and
+    # the comparison isolates the telemetry bookkeeping.
+    run_wan_sweep_parallel(wan_config, jobs=1)
+
+    plain_seconds, plain = _best_of(
+        REPEATS, lambda: run_wan_sweep_parallel(wan_config, jobs=1)
+    )
+    registries = []
+
+    def run_instrumented():
+        # A fresh registry per repeat, so cache hit counts stay per-run.
+        metrics = MetricsRegistry()
+        registries.append(metrics)
+        return run_wan_sweep_parallel(wan_config, jobs=1, metrics=metrics)
+
+    instrumented_seconds, instrumented = _best_of(REPEATS, run_instrumented)
+
+    # Profiling must not change the sweep.
+    for timeout in plain.runs:
+        for run_p, run_i in zip(plain.runs[timeout], instrumented.runs[timeout]):
+            assert np.array_equal(run_p.matrices, run_i.matrices)
+
+    cells = len(wan_config.timeouts) * wan_config.runs
+    ratio = instrumented_seconds / plain_seconds
+    hits = registries[-1].value("sweep.cache_hits", phase="wan")
+    save_result(
+        "obs_overhead",
+        "\n".join(
+            [
+                "Telemetry overhead guard (warm-cache QUICK WAN sweep, "
+                f"best of {REPEATS})",
+                f"cells:               {cells}",
+                f"uninstrumented:      {plain_seconds:.4f} s",
+                f"instrumented:        {instrumented_seconds:.4f} s",
+                f"ratio:               {ratio:.3f} (budget {MAX_OVERHEAD:.2f})",
+                f"cache hits (last):   {hits}",
+            ]
+        ),
+    )
+    assert hits == cells  # the cache really was warm
+    assert ratio <= MAX_OVERHEAD, (
+        f"instrumented sweep {ratio:.3f}x the uninstrumented wall-clock "
+        f"(budget {MAX_OVERHEAD:.2f}x)"
+    )

@@ -10,6 +10,7 @@ timeout — each round lasts the timeout in the synchronized-round setting).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -18,6 +19,7 @@ import numpy as np
 from repro.models.gsr import first_satisfying_window
 from repro.models.registry import TimingModel, get_model
 from repro.experiments.measurement import satisfaction_vector
+from repro.sim.rng import derive_seed
 
 
 @dataclass(frozen=True)
@@ -74,10 +76,19 @@ def decision_stats_from_vector(
     callers whose satisfaction criterion varies by round — e.g. the fault
     robustness phase, where leader churn makes the leader-based models'
     acting leader a per-round quantity.
+
+    When no ``rng`` is passed, the default seed is derived from the call's
+    own content (the satisfaction vector and sampling parameters), not a
+    fixed constant: a shared ``default_rng(0)`` handed every (run, model,
+    timeout) cell the *same* start points, correlating the samples across
+    an entire sweep.  Content-derived seeding stays reproducible — the
+    same call sees the same starts — while distinct cells decorrelate.
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
     satisfied = np.asarray(satisfied, dtype=bool)
+    if rng is None:
+        digest = hashlib.sha256(satisfied.tobytes()).hexdigest()
+        name = f"decision:{digest}:{window}:{start_points}:{round_length!r}"
+        rng = np.random.default_rng(derive_seed(0, name))
     total_rounds = len(satisfied)
     if total_rounds < window + 1:
         raise ValueError("trace too short for the decision window")

@@ -17,9 +17,10 @@ are atomic, so racing workers are safe.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Callable, Optional, Sequence, TypeVar
+from typing import Any, Callable, NamedTuple, Optional, Sequence, TypeVar
 
 from repro.experiments import cache as trace_cache
 from repro.experiments.config import QUICK, QUICK_LAN, SweepConfig
@@ -33,11 +34,41 @@ from repro.experiments.figures import (
     wan_cell,
 )
 from repro.net.planetlab import LEADER_NODE
+from repro.obs.registry import MetricsRegistry, registry_or_null
 
 _CellResult = TypeVar("_CellResult")
 
 #: ``progress(done_cells, total_cells)``, invoked after every finished cell.
 ProgressCallback = Callable[[int, int], None]
+
+
+class _CellOutcome(NamedTuple):
+    """One cell's result plus its worker-side profile.
+
+    The profile rides back with the result so the parent can aggregate
+    per-cell timing and cache behaviour without touching the result
+    itself — the unwrapped results stay bit-identical to the serial
+    engine's.
+    """
+
+    result: Any
+    seconds: float
+    cache_hits: int
+    cache_misses: int
+
+
+def _profiled(compute: Callable[[], _CellResult]) -> "_CellOutcome":
+    """Run one cell, measuring wall time and trace-cache hits/misses."""
+    active = trace_cache.active_cache()
+    hits0 = active.hits if active is not None else 0
+    misses0 = active.misses if active is not None else 0
+    begin = time.perf_counter()
+    result = compute()
+    seconds = time.perf_counter() - begin
+    active = trace_cache.active_cache()
+    hits = (active.hits - hits0) if active is not None else 0
+    misses = (active.misses - misses0) if active is not None else 0
+    return _CellOutcome(result, seconds, hits, misses)
 
 
 def default_jobs() -> int:
@@ -51,14 +82,14 @@ def _init_worker(cache_root: Optional[str]) -> None:
         trace_cache.activate(cache_root)
 
 
-def _wan_task(args: tuple[SweepConfig, int, int]) -> WanRun:
+def _wan_task(args: tuple[SweepConfig, int, int]) -> _CellOutcome:
     config, t_index, r_index = args
-    return wan_cell(config, t_index, r_index)
+    return _profiled(lambda: wan_cell(config, t_index, r_index))
 
 
-def _lan_task(args: tuple[SweepConfig, int, int]) -> LanCell:
+def _lan_task(args: tuple[SweepConfig, int, int]) -> _CellOutcome:
     config, t_index, r_index = args
-    return lan_cell(config, t_index, r_index)
+    return _profiled(lambda: lan_cell(config, t_index, r_index))
 
 
 def _resolve_cache_root(cache_root: Optional[Path | str]) -> Optional[str]:
@@ -71,29 +102,49 @@ def _resolve_cache_root(cache_root: Optional[Path | str]) -> Optional[str]:
 
 
 def _map_cells(
-    task: Callable[[tuple[SweepConfig, int, int]], _CellResult],
+    task: Callable[[tuple[SweepConfig, int, int]], _CellOutcome],
     config: SweepConfig,
     jobs: Optional[int],
     cache_root: Optional[Path | str],
     progress: Optional[ProgressCallback],
-) -> list[list[_CellResult]]:
+    metrics: Optional[MetricsRegistry] = None,
+    phase: str = "sweep",
+) -> list[list[Any]]:
     """Evaluate every (timeout, run) cell, ``jobs`` at a time.
 
     Returns ``results[t_index][r_index]`` in the serial iteration order
-    regardless of completion order.
+    regardless of completion order.  When ``metrics`` is given, per-cell
+    wall time, trace-cache hit/miss counts and worker utilization are
+    aggregated under the ``phase`` label; the results themselves are
+    untouched.
     """
     if jobs is None or jobs <= 0:
         jobs = default_jobs()
+    metrics = registry_or_null(metrics)
+    cell_seconds = metrics.histogram("sweep.cell_seconds", phase=phase)
+    cache_hits = metrics.counter("sweep.cache_hits", phase=phase)
+    cache_misses = metrics.counter("sweep.cache_misses", phase=phase)
     cells = [
         (config, t_index, r_index)
         for t_index in range(len(config.timeouts))
         for r_index in range(config.runs)
     ]
     total = len(cells)
-    flat: list[_CellResult] = []
+    busy = 0.0
+    begin = time.perf_counter()
+    flat: list[Any] = []
+
+    def consume(outcome: _CellOutcome) -> None:
+        nonlocal busy
+        flat.append(outcome.result)
+        busy += outcome.seconds
+        cell_seconds.observe(outcome.seconds)
+        cache_hits.inc(outcome.cache_hits)
+        cache_misses.inc(outcome.cache_misses)
+
     if jobs == 1:
         for done, cell in enumerate(cells, start=1):
-            flat.append(task(cell))
+            consume(task(cell))
             if progress is not None:
                 progress(done, total)
     else:
@@ -102,12 +153,21 @@ def _map_cells(
             initializer=_init_worker,
             initargs=(_resolve_cache_root(cache_root),),
         ) as pool:
-            for done, result in enumerate(
+            for done, outcome in enumerate(
                 pool.map(task, cells, chunksize=1), start=1
             ):
-                flat.append(result)
+                consume(outcome)
                 if progress is not None:
                     progress(done, total)
+    elapsed = time.perf_counter() - begin
+    if elapsed > 0:
+        # Fraction of the pool's capacity spent inside cells: ~1.0 means
+        # the workers were saturated, low values mean dispatch overhead
+        # or stragglers dominated.
+        metrics.gauge("sweep.worker_utilization", phase=phase).set(
+            min(1.0, busy / (elapsed * jobs))
+        )
+    metrics.gauge("sweep.elapsed_seconds", phase=phase).set(elapsed)
     return [
         flat[t_index * config.runs : (t_index + 1) * config.runs]
         for t_index in range(len(config.timeouts))
@@ -120,6 +180,7 @@ def run_wan_sweep_parallel(
     jobs: Optional[int] = None,
     cache_root: Optional[Path | str] = None,
     progress: Optional[ProgressCallback] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> WanSweep:
     """:func:`~repro.experiments.figures.run_wan_sweep`, one process per
     cell batch; bit-identical to the serial engine.
@@ -130,8 +191,12 @@ def run_wan_sweep_parallel(
         cache_root: trace-cache directory handed to workers; defaults to
             the process-wide active cache, if any.
         progress: ``progress(done, total)`` called per finished cell.
+        metrics: optional registry receiving per-cell timing, cache
+            hit/miss counts and worker utilization (``phase=wan``).
     """
-    rows = _map_cells(_wan_task, config, jobs, cache_root, progress)
+    rows = _map_cells(
+        _wan_task, config, jobs, cache_root, progress, metrics, phase="wan"
+    )
     sweep = WanSweep(config=config, leader=leader)
     for t_index, timeout in enumerate(config.timeouts):
         sweep.runs[timeout] = rows[t_index]
@@ -143,8 +208,11 @@ def figure_1c_parallel(
     jobs: Optional[int] = None,
     cache_root: Optional[Path | str] = None,
     progress: Optional[ProgressCallback] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FigureSeries:
     """:func:`~repro.experiments.figures.figure_1c` with parallel cells;
     bit-identical to the serial figure."""
-    rows = _map_cells(_lan_task, config, jobs, cache_root, progress)
+    rows = _map_cells(
+        _lan_task, config, jobs, cache_root, progress, metrics, phase="lan"
+    )
     return figure_1c(config, cells=rows)

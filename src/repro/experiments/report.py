@@ -32,10 +32,15 @@ def render_series(result: FigureSeries, max_rows: Optional[int] = None) -> str:
         [f"{result.x_label[:10]:>10}"] + [f"{name[:14]:>14}" for name in names]
     )
     lines.append(column_header)
-    rows = range(len(result.x))
+    rows: Sequence[int] = range(len(result.x))
     if max_rows is not None and len(result.x) > max_rows:
         step = max(1, len(result.x) // max_rows)
-        rows = range(0, len(result.x), step)
+        subsampled = list(range(0, len(result.x), step))
+        # The stride may step over the final index; the largest x value
+        # (e.g. the longest timeout) must always appear in the table.
+        if subsampled[-1] != len(result.x) - 1:
+            subsampled.append(len(result.x) - 1)
+        rows = subsampled
     for i in rows:
         cells = [f"{result.x[i]:>10.4g}"]
         for name in names:

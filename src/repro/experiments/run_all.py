@@ -15,14 +15,27 @@ Sampled traces are cached on disk (default ``<out>/.trace-cache``; see
 new figure, or a different downstream analysis — re-simulates nothing.
 ``--no-cache`` disables this; ``--jobs N`` fans the sweeps out over N
 worker processes (0 = one per CPU).
+
+``--metrics DIR`` profiles the pipeline: per-phase and per-cell timing,
+cache hit/miss rates and worker utilization land in ``DIR`` as a run
+manifest (``manifest.json``), a JSONL event timeline
+(``timeline.jsonl``), the raw instrument snapshot (``metrics.json``) and
+a rendered table (``metrics.txt``; see
+:mod:`repro.experiments.obs_report`).
+
+Progress output is line-flushed (``flush=True``): these prints exist to
+show liveness during the slow WAN sweep, and block buffering under a
+pipe (CI logs, ``tee``) held them all back until the end.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
+from typing import Optional
 
 from repro.analysis import expected_decision_rounds, find_crossover
 from repro.experiments import cache as trace_cache
@@ -47,6 +60,8 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.report import render_comparison, render_series
 from repro.experiments.robustness import robustness_report
+from repro.obs.recorder import RunRecorder, build_manifest, write_manifest
+from repro.obs.registry import MetricsRegistry
 
 
 def headline_numbers() -> str:
@@ -82,15 +97,55 @@ class _PhaseProgress:
         quarter = (4 * done) // total
         if quarter > self._last_quarter and done < total:
             self._last_quarter = quarter
-            print(f"    ... {done}/{total} cells")
+            print(f"    ... {done}/{total} cells", flush=True)
 
     def finish(self, cells: int) -> None:
         elapsed = time.time() - self.start
         rate = cells / elapsed if elapsed > 0 else float("inf")
         print(
             f"  {self.label}: {cells} cells in {elapsed:.2f}s "
-            f"({rate:.1f} cells/s)"
+            f"({rate:.1f} cells/s)",
+            flush=True,
         )
+
+
+class _RunProfile:
+    """Phase-level profiling for one pipeline run.
+
+    A thin wrapper tying the registry and the recorder together: each
+    :meth:`phase` context records a ``phase.start``/``phase.end`` event
+    pair on the timeline and sets the ``run.phase_seconds`` gauge for
+    the phase.  With no ``--metrics`` directory both sides are the
+    shared no-op singletons.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.recorder = RunRecorder(enabled=enabled)
+
+    def phase(self, name: str) -> "_PhaseTimer":
+        return _PhaseTimer(self, name)
+
+
+class _PhaseTimer:
+    def __init__(self, profile: _RunProfile, name: str) -> None:
+        self._profile = profile
+        self._name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._begin = time.perf_counter()
+        self._profile.recorder.record("phase.start", phase=self._name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._begin
+        self._profile.recorder.record(
+            "phase.end", phase=self._name, seconds=elapsed
+        )
+        self._profile.metrics.gauge(
+            "run.phase_seconds", phase=self._name
+        ).set(elapsed)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,11 +188,23 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the fault-robustness phase (P_M and decision "
         "latency under crash/loss/partition/slow-node/churn plans)",
     )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="profile the run: write a manifest, a JSONL event timeline "
+        "and a metrics table (phase/cell timing, cache hit rates, worker "
+        "utilization) into DIR",
+    )
     args = parser.parse_args(argv)
 
     wan_config = PAPER if args.scale == "paper" else QUICK
     lan_config = PAPER_LAN if args.scale == "paper" else QUICK_LAN
     args.out.mkdir(parents=True, exist_ok=True)
+
+    profile = _RunProfile(enabled=args.metrics is not None)
+    metrics = profile.metrics if profile.enabled else None
 
     jobs = args.jobs if args.jobs > 0 else default_jobs()
     cache = None
@@ -146,7 +213,8 @@ def main(argv: list[str] | None = None) -> int:
         cache = trace_cache.activate(cache_dir)
         print(
             f"trace cache: {cache_dir} ({cache.entries()} entries), "
-            f"jobs: {jobs}"
+            f"jobs: {jobs}",
+            flush=True,
         )
 
     def emit(name: str, result, y_log: bool = False) -> None:
@@ -155,60 +223,122 @@ def main(argv: list[str] | None = None) -> int:
             (args.out / f"{name}.chart.txt").write_text(
                 chart_figure(result, y_log=y_log) + "\n"
             )
-        print(f"  wrote {args.out / name}.txt")
+        print(f"  wrote {args.out / name}.txt", flush=True)
 
     start = time.time()
     phases = "5" if args.faults else "4"
-    print(f"[1/{phases}] analysis figures (Section 4.2)")
-    emit("fig1a", figure_1a(), y_log=True)
-    emit("fig1b", figure_1b(), y_log=True)
-    (args.out / "headline.txt").write_text(headline_numbers() + "\n")
-    print(f"  wrote {args.out / 'headline.txt'}")
+    print(f"[1/{phases}] analysis figures (Section 4.2)", flush=True)
+    with profile.phase("analysis"):
+        emit("fig1a", figure_1a(), y_log=True)
+        emit("fig1b", figure_1b(), y_log=True)
+        (args.out / "headline.txt").write_text(headline_numbers() + "\n")
+    print(f"  wrote {args.out / 'headline.txt'}", flush=True)
 
-    print(f"[2/{phases}] LAN measurement (Section 5.2)")
+    # With profiling on, even jobs=1 routes through the parallel engine
+    # (in-process, bit-identical to the serial path) so per-cell timing
+    # and cache statistics flow through its aggregation.
+    use_engine = jobs > 1 or profile.enabled
+
+    print(f"[2/{phases}] LAN measurement (Section 5.2)", flush=True)
     lan_progress = _PhaseProgress("LAN sweep")
-    if jobs > 1:
-        fig1c = figure_1c_parallel(lan_config, jobs=jobs, progress=lan_progress)
-    else:
-        fig1c = figure_1c(lan_config)
+    with profile.phase("lan"):
+        if use_engine:
+            fig1c = figure_1c_parallel(
+                lan_config, jobs=jobs, progress=lan_progress, metrics=metrics
+            )
+        else:
+            fig1c = figure_1c(lan_config)
     lan_progress.finish(len(lan_config.timeouts) * lan_config.runs)
     emit("fig1c", fig1c)
 
-    print(f"[3/{phases}] WAN sweep (Section 5.3) — this is the slow part")
+    print(
+        f"[3/{phases}] WAN sweep (Section 5.3) — this is the slow part",
+        flush=True,
+    )
     wan_progress = _PhaseProgress("WAN sweep")
-    if jobs > 1:
-        sweep = run_wan_sweep_parallel(
-            wan_config, jobs=jobs, progress=wan_progress
-        )
-    else:
-        sweep = run_wan_sweep(wan_config)
+    with profile.phase("wan"):
+        if use_engine:
+            sweep = run_wan_sweep_parallel(
+                wan_config, jobs=jobs, progress=wan_progress, metrics=metrics
+            )
+        else:
+            sweep = run_wan_sweep(wan_config)
     wan_progress.finish(len(wan_config.timeouts) * wan_config.runs)
 
-    print(f"[4/{phases}] WAN figures")
-    emit("fig1d", figure_1d(sweep=sweep))
-    emit("fig1e", figure_1e(sweep=sweep))
-    emit("fig1f", figure_1f(sweep=sweep))
-    emit("fig1g", figure_1g(sweep=sweep))
-    emit("fig1h", figure_1h(sweep=sweep))
-    emit("fig1i", figure_1i(sweep=sweep))
+    print(f"[4/{phases}] WAN figures", flush=True)
+    with profile.phase("wan-figures"):
+        emit("fig1d", figure_1d(sweep=sweep))
+        emit("fig1e", figure_1e(sweep=sweep))
+        emit("fig1f", figure_1f(sweep=sweep))
+        emit("fig1g", figure_1g(sweep=sweep))
+        emit("fig1h", figure_1h(sweep=sweep))
+        emit("fig1i", figure_1i(sweep=sweep))
 
     if args.faults:
         # Reuses the sweep already in memory (and therefore the trace
         # cache): the fault masks are applied to the cached matrices, so
         # this phase simulates nothing new.
-        print(f"[5/{phases}] fault robustness")
-        (args.out / "faults.txt").write_text(
-            robustness_report(sweep=sweep, seed=wan_config.seed) + "\n"
-        )
-        print(f"  wrote {args.out / 'faults.txt'}")
+        print(f"[5/{phases}] fault robustness", flush=True)
+        with profile.phase("faults"):
+            (args.out / "faults.txt").write_text(
+                robustness_report(sweep=sweep, seed=wan_config.seed) + "\n"
+            )
+        print(f"  wrote {args.out / 'faults.txt'}", flush=True)
 
     if cache is not None:
         print(
             f"trace cache: {cache.hits} hits, {cache.misses} misses, "
-            f"{cache.entries()} entries on disk"
+            f"{cache.entries()} entries on disk",
+            flush=True,
         )
-    print(f"done in {time.time() - start:.1f}s -> {args.out}/")
+    elapsed = time.time() - start
+
+    if profile.enabled:
+        if cache is not None:
+            profile.metrics.counter("cache.hits").inc(cache.hits)
+            profile.metrics.counter("cache.misses").inc(cache.misses)
+        profile.metrics.gauge("run.total_seconds").set(elapsed)
+        _write_metrics_dir(args.metrics, args, profile, wan_config, lan_config)
+
+    print(f"done in {elapsed:.1f}s -> {args.out}/", flush=True)
     return 0
+
+
+def _write_metrics_dir(
+    metrics_dir: Path,
+    args: argparse.Namespace,
+    profile: _RunProfile,
+    wan_config,
+    lan_config,
+) -> None:
+    """Write the profiling artifacts: manifest, timeline, raw + rendered
+    metrics."""
+    # Imported here, not at module top: obs_report imports this module's
+    # sibling renderers and keeping the dependency one-way at import time
+    # avoids a cycle.
+    from repro.experiments.obs_report import render_metrics
+
+    metrics_dir.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(
+        command="python -m repro.experiments",
+        scale=args.scale,
+        jobs=args.jobs,
+        charts=args.charts,
+        faults=args.faults,
+        out=args.out,
+        cache=not args.no_cache,
+        wan_config=wan_config,
+        lan_config=lan_config,
+        seeds={"wan": wan_config.seed, "lan": lan_config.seed},
+    )
+    write_manifest(metrics_dir / "manifest.json", manifest)
+    profile.recorder.write_jsonl(metrics_dir / "timeline.jsonl")
+    snapshot = profile.metrics.snapshot()
+    (metrics_dir / "metrics.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+    (metrics_dir / "metrics.txt").write_text(render_metrics(snapshot) + "\n")
+    print(f"metrics -> {metrics_dir}/", flush=True)
 
 
 if __name__ == "__main__":

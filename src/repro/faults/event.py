@@ -27,6 +27,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.faults.plan import FaultPlan
+from repro.obs.recorder import RunRecorder
+from repro.obs.registry import MetricsRegistry, registry_or_null
 from repro.sim.events import Simulator
 from repro.sim.faultlink import FaultyLinkModel
 from repro.sim.rng import derive_seed
@@ -42,14 +44,40 @@ def _uniform(seed: int, name: str) -> float:
 
 
 class PlanLinkFaults:
-    """A :class:`FaultPlan`, viewed per message by the transport."""
+    """A :class:`FaultPlan`, viewed per message by the transport.
 
-    def __init__(self, plan: FaultPlan, timeout: float) -> None:
+    ``last_drop_cause`` names why the most recent :meth:`drop` returned
+    ``True`` (``"crash"``, ``"partition"`` or ``"loss-burst"``), and is
+    ``None`` after a pass verdict.  The classification must happen inside
+    the one :meth:`drop` call per message because the burst counters
+    advance per query — asking twice would change the realization.
+
+    When ``metrics`` is given, the first message affected by each
+    distinct fault episode increments ``faults.activations`` labelled by
+    kind, so a run's telemetry shows which parts of the plan actually
+    fired.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        timeout: float,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         self.plan = plan
         self.timeout = timeout
         self._burst_counters: dict[tuple[int, int], int] = {}
+        self.last_drop_cause: Optional[str] = None
+        self._metrics = registry_or_null(metrics)
+        self._seen_activations: set[tuple[str, int]] = set()
+
+    def _activate(self, kind: str, index: int) -> None:
+        if (kind, index) in self._seen_activations:
+            return
+        self._seen_activations.add((kind, index))
+        self._metrics.counter("faults.activations", kind=kind).inc()
 
     def round_of(self, now: float) -> int:
         """The 1-based plan round covering simulation time ``now``."""
@@ -58,9 +86,18 @@ class PlanLinkFaults:
     def drop(self, src: int, dst: int, now: float) -> bool:
         round_number = self.round_of(now)
         plan = self.plan
+        self.last_drop_cause = None
         if plan.down_at(src, round_number) or plan.down_at(dst, round_number):
+            self.last_drop_cause = "crash"
+            for index, crash in enumerate(plan.crashes):
+                if crash.pid in (src, dst) and crash.down_at(round_number):
+                    self._activate("crash-link", index)
             return True
         if plan.partitioned(src, dst, round_number):
+            self.last_drop_cause = "partition"
+            for index, partition in enumerate(plan.partitions):
+                if partition.active_at(round_number):
+                    self._activate("partition", index)
             return True
         for index, burst in enumerate(plan.loss_bursts):
             if not burst.active_at(round_number):
@@ -71,6 +108,8 @@ class PlanLinkFaults:
                 plan.seed, f"faults:burst:{index}:{src}:{dst}:{count}"
             )
             if draw < burst.drop_prob:
+                self.last_drop_cause = "loss-burst"
+                self._activate("loss-burst", index)
                 return True
         return False
 
@@ -81,10 +120,15 @@ class PlanLinkFaults:
         )
 
 
-def install_plan(transport: Transport, plan: FaultPlan, timeout: float) -> None:
+def install_plan(
+    transport: Transport,
+    plan: FaultPlan,
+    timeout: float,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
     """Wrap ``transport``'s link model with the plan's link-level faults."""
     transport.link_model = FaultyLinkModel(
-        transport.link_model, PlanLinkFaults(plan, timeout)
+        transport.link_model, PlanLinkFaults(plan, timeout, metrics=metrics)
     )
 
 
@@ -93,13 +137,17 @@ def faulty_transport_factory(
     link_model: LinkModel,
     timeout: float,
     trace: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    recorder: Optional[RunRecorder] = None,
 ) -> Callable[[Simulator], Transport]:
     """A ``transport_factory`` (as :class:`SyncRun` expects) whose
     transports carry the plan's link-level faults."""
 
     def factory(simulator: Simulator) -> Transport:
-        transport = Transport(simulator, link_model, trace=trace)
-        install_plan(transport, plan, timeout)
+        transport = Transport(
+            simulator, link_model, trace=trace, metrics=metrics, recorder=recorder
+        )
+        install_plan(transport, plan, timeout, metrics=metrics)
         return transport
 
     return factory

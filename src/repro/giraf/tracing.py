@@ -27,13 +27,20 @@ from repro.giraf.kernel import GirafAlgorithm, Inbox, RoundOutput
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One process's outcome of one end-of-round computation."""
+    """One process's outcome of one end-of-round computation.
+
+    ``kind`` distinguishes the round-0 ``initialize`` from ``compute``:
+    several events can legitimately share a ``(round, pid)`` slot (every
+    consensus instance of a sequence initializes at round 0), and all of
+    them must survive in the trace.
+    """
 
     round_number: int
     pid: int
     payload: Any
     decision: Any
     destinations: frozenset[int]
+    kind: str = "compute"
 
     def describe(self) -> str:
         """A compact cell for the rendered table."""
@@ -59,12 +66,21 @@ class TraceEvent:
 
 @dataclass
 class RunTrace:
-    """All events of one run, indexed by round then pid."""
+    """All events of one run, indexed by round then pid.
 
-    events: dict[int, dict[int, TraceEvent]] = field(default_factory=dict)
+    Each ``(round, pid)`` slot holds a *list* of events in recording
+    order.  Keying by ``(round, pid)`` alone used to overwrite the
+    round-0 ``initialize`` event whenever a second event landed on the
+    same slot (e.g. each inner instance of a consensus sequence
+    re-initializing at round 0), silently losing initial proposals from
+    rendered traces.
+    """
+
+    events: dict[int, dict[int, list[TraceEvent]]] = field(default_factory=dict)
 
     def record(self, event: TraceEvent) -> None:
-        self.events.setdefault(event.round_number, {})[event.pid] = event
+        slot = self.events.setdefault(event.round_number, {})
+        slot.setdefault(event.pid, []).append(event)
 
     def rounds(self) -> list[int]:
         return sorted(self.events)
@@ -73,9 +89,10 @@ class RunTrace:
         """``pid -> (first deciding round, value)``."""
         decided: dict[int, tuple[int, Any]] = {}
         for round_number in self.rounds():
-            for pid, event in self.events[round_number].items():
-                if event.decision is not None and pid not in decided:
-                    decided[pid] = (round_number, event.decision)
+            for pid, slot in self.events[round_number].items():
+                for event in slot:
+                    if event.decision is not None and pid not in decided:
+                        decided[pid] = (round_number, event.decision)
         return decided
 
 
@@ -96,6 +113,7 @@ class TracingAlgorithm(GirafAlgorithm):
                 payload=output.payload,
                 decision=self.inner.decision(),
                 destinations=frozenset(output.destinations),
+                kind="initialize",
             )
         )
         return output
@@ -109,6 +127,7 @@ class TracingAlgorithm(GirafAlgorithm):
                 payload=output.payload,
                 decision=self.inner.decision(),
                 destinations=frozenset(output.destinations),
+                kind="compute",
             )
         )
         return output
@@ -144,8 +163,13 @@ def render_trace(
     for round_number in rounds:
         row = [f"{round_number:>4} "]
         for pid in pids:
-            event = trace.events[round_number].get(pid)
-            cell = event.describe() if event is not None else "(crashed)"
+            slot = trace.events[round_number].get(pid)
+            if not slot:
+                cell = "(crashed)"
+            else:
+                # A slot can hold several events (e.g. every instance of a
+                # consensus sequence initializes at round 0); show them all.
+                cell = " / ".join(event.describe() for event in slot)
             row.append(f"{cell:<{column_width}}")
         lines.append(" ".join(row))
     decisions = trace.decisions()

@@ -1,0 +1,49 @@
+"""repro.obs — run telemetry for the event stack and the experiment pipeline.
+
+The paper's argument is a *measurement* argument: which links were timely,
+what each model's rounds cost (Section 5, Figure 1).  This package makes
+that measurement a first-class object for the reproduction itself:
+
+- :class:`MetricsRegistry` — named counters / gauges / histograms with a
+  cheap no-op path when telemetry is off (:data:`NULL_METRICS`).  The
+  event-driven transport, the round-synchronization protocol, the Ω
+  implementation and the fault injectors are instrumented against it.
+- :class:`RunRecorder` — a structured JSONL event timeline plus a run
+  manifest (config, seeds, package version), so any run can be replayed
+  and diffed.  :data:`NULL_RECORDER` is the disabled twin.
+
+Everything here is stdlib-only; no instrumented module pays more than a
+method call on a singleton when telemetry is disabled.
+"""
+
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    RunRecorder,
+    build_manifest,
+    read_jsonl,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.registry import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_or_null,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_RECORDER",
+    "RunRecorder",
+    "build_manifest",
+    "read_jsonl",
+    "read_manifest",
+    "registry_or_null",
+    "write_manifest",
+]

@@ -1,0 +1,231 @@
+"""Named counters, gauges and histograms with a free disabled path.
+
+Instrumented code resolves its instruments once (usually in ``__init__``)
+and then calls ``inc`` / ``set`` / ``observe`` on the hot path::
+
+    self._drops = metrics.counter("transport.dropped", cause="partition")
+    ...
+    self._drops.inc()
+
+When the caller passes no registry, :func:`registry_or_null` hands back
+:data:`NULL_METRICS`, whose instruments are shared singletons with empty
+method bodies — the disabled path costs one attribute lookup and one
+no-op call, and records nothing.
+
+Instruments are keyed by ``(name, sorted labels)``; asking twice for the
+same key returns the same object, so counts aggregate naturally across
+components sharing a registry.  The registry is deliberately not
+thread-safe: runs are single-process deterministic simulations, and the
+parallel sweep engine aggregates worker-side numbers in the parent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+#: Histograms decimate their sample reservoir beyond this many entries
+#: (deterministically — every second retained sample survives, and the
+#: keep-stride doubles), bounding memory on million-observation runs.
+MAX_HISTOGRAM_SAMPLES = 4096
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time float; ``set`` overwrites."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary statistics plus a bounded sample reservoir.
+
+    ``count``/``total``/``min``/``max`` are exact for every observation;
+    percentiles come from the reservoir, which keeps every observation
+    until :data:`MAX_HISTOGRAM_SAMPLES` and then decimates with a
+    deterministic doubling stride (no random state — a rerun sees the
+    same reservoir).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > MAX_HISTOGRAM_SAMPLES:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) of the retained samples."""
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        """A JSON-able digest of the distribution."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: D102 — intentionally empty
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+#: Instrument key: ``(name, (("label", "value"), ...))`` with sorted labels.
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, object]) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(key: _Key) -> str:
+    """``name{label=value,...}`` — the rendered instrument identity."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """A namespace of instruments shared by one run (or one sweep).
+
+    A disabled registry (``enabled=False``, or :data:`NULL_METRICS`)
+    hands out shared no-op instruments and snapshots to nothing.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[_Key, Counter] = {}
+        self._gauges: dict[_Key, Gauge] = {}
+        self._histograms: dict[_Key, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (create on first use).
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._counters.setdefault(_key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._gauges.setdefault(_key(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._histograms.setdefault(_key(name, labels), Histogram())
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterator[tuple[str, int]]:
+        for key in sorted(self._counters):
+            yield render_key(key), self._counters[key].value
+
+    def gauges(self) -> Iterator[tuple[str, float]]:
+        for key in sorted(self._gauges):
+            yield render_key(key), self._gauges[key].value
+
+    def histograms(self) -> Iterator[tuple[str, dict]]:
+        for key in sorted(self._histograms):
+            yield render_key(key), self._histograms[key].summary()
+
+    def value(self, name: str, **labels: object) -> Optional[float]:
+        """The current value of a counter or gauge, or ``None`` if absent."""
+        key = _key(name, labels)
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return None
+
+    def snapshot(self) -> dict:
+        """A JSON-able view of every instrument."""
+        return {
+            "counters": dict(self.counters()),
+            "gauges": dict(self.gauges()),
+            "histograms": dict(self.histograms()),
+        }
+
+
+#: The shared disabled registry: hand this to instrumented code to turn
+#: telemetry off at near-zero cost.
+NULL_METRICS = MetricsRegistry(enabled=False)
+
+
+def registry_or_null(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """``metrics``, or the shared no-op registry when ``None``."""
+    return metrics if metrics is not None else NULL_METRICS

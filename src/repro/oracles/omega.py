@@ -33,12 +33,18 @@ from typing import Optional
 import numpy as np
 
 from repro.giraf.oracle import Oracle
+from repro.obs.registry import MetricsRegistry, registry_or_null
 
 
 class HeartbeatOmega(Oracle):
     """Ω from observed heartbeats: trust the smallest-id recently-heard process."""
 
-    def __init__(self, n: int, suspicion_rounds: int = 3) -> None:
+    def __init__(
+        self,
+        n: int,
+        suspicion_rounds: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if n < 1:
             raise ValueError("n must be positive")
         if suspicion_rounds < 1:
@@ -47,6 +53,16 @@ class HeartbeatOmega(Oracle):
         self.suspicion_rounds = suspicion_rounds
         # last_heard[dst, src] = last round in which dst heard src.
         self._last_heard = np.zeros((n, n), dtype=int)
+        self._metrics = registry_or_null(metrics)
+        self._suspicions_raised = self._metrics.counter("omega.suspicions_raised")
+        self._suspicions_cleared = self._metrics.counter(
+            "omega.suspicions_cleared"
+        )
+        self._leader_changes = self._metrics.counter("omega.leader_changes")
+        # suspected[dst, src]: was src outside dst's window at the last
+        # observation?  Round 0 starts with nothing suspected.
+        self._suspected = np.zeros((n, n), dtype=bool)
+        self._last_output: dict[int, int] = {}
 
     def observe(self, round_number: int, delivered: np.ndarray) -> None:
         """Feed one round's delivery matrix (``delivered[dst, src]``).
@@ -67,6 +83,14 @@ class HeartbeatOmega(Oracle):
             np.where(heard, round_number, self._last_heard),
             out=self._last_heard,
         )
+        suspected = self._last_heard < (round_number - self.suspicion_rounds)
+        raised = int(np.count_nonzero(suspected & ~self._suspected))
+        cleared = int(np.count_nonzero(~suspected & self._suspected))
+        if raised:
+            self._suspicions_raised.inc(raised)
+        if cleared:
+            self._suspicions_cleared.inc(cleared)
+        self._suspected = suspected
 
     def trusted(self, pid: int, round_number: int) -> int:
         """The smallest-id process ``pid`` heard within the suspicion window."""
@@ -77,4 +101,9 @@ class HeartbeatOmega(Oracle):
         return int(alive[0])
 
     def query(self, pid: int, round_number: int) -> int:
-        return self.trusted(pid, round_number)
+        leader = self.trusted(pid, round_number)
+        previous = self._last_output.get(pid)
+        if previous is not None and previous != leader:
+            self._leader_changes.inc()
+        self._last_output[pid] = leader
+        return leader

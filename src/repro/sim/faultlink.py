@@ -33,14 +33,27 @@ class LinkFaults(Protocol):
 
 
 class FaultyLinkModel:
-    """A :class:`LinkModel` filtered through a :class:`LinkFaults` policy."""
+    """A :class:`LinkModel` filtered through a :class:`LinkFaults` policy.
+
+    After each ``sample_latency`` that returned ``None``,
+    ``last_drop_cause`` names why — the fault policy's own cause if it
+    publishes one (:class:`~repro.faults.event.PlanLinkFaults` does), a
+    generic ``"fault"`` otherwise, or ``None`` when the base model itself
+    lost the message (natural link loss).  The transport reads this side
+    channel to attribute drops.
+    """
 
     def __init__(self, base: LinkModel, faults: LinkFaults) -> None:
         self.base = base
         self.faults = faults
+        self.last_drop_cause: Optional[str] = None
 
     def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
+        self.last_drop_cause = None
         if self.faults.drop(src, dst, now):
+            self.last_drop_cause = (
+                getattr(self.faults, "last_drop_cause", None) or "fault"
+            )
             return None
         latency = self.base.sample_latency(src, dst, now)
         if latency is None:

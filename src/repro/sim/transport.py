@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Protocol
 
+from repro.obs.recorder import RunRecorder, recorder_or_null
+from repro.obs.registry import Counter, MetricsRegistry, registry_or_null
 from repro.sim.events import Simulator
 
 
@@ -64,6 +66,8 @@ class Transport:
         simulator: Simulator,
         link_model: LinkModel,
         trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        recorder: Optional[RunRecorder] = None,
     ) -> None:
         self._simulator = simulator
         self._link_model = link_model
@@ -72,6 +76,20 @@ class Transport:
         self.deliveries: list[Delivery] = []
         self.messages_sent = 0
         self.messages_lost = 0
+        self._metrics = registry_or_null(metrics)
+        self._recorder = recorder_or_null(recorder)
+        self._sent_counter = self._metrics.counter("transport.sent")
+        self._delivered_counter = self._metrics.counter("transport.delivered")
+        self._latency_hist = self._metrics.histogram("transport.latency_seconds")
+        self._drop_counters: dict[str, Counter] = {}
+
+    def _count_drop(self, cause: str, src: int, dst: int, now: float) -> None:
+        counter = self._drop_counters.get(cause)
+        if counter is None:
+            counter = self._metrics.counter("transport.dropped", cause=cause)
+            self._drop_counters[cause] = counter
+        counter.inc()
+        self._recorder.record("transport.drop", t=now, src=src, dst=dst, cause=cause)
 
     @property
     def link_model(self) -> LinkModel:
@@ -94,6 +112,7 @@ class Transport:
         """Send ``payload`` from ``src`` to ``dst``; it may be delayed or lost."""
         now = self._simulator.now
         self.messages_sent += 1
+        self._sent_counter.inc()
         if src == dst:
             latency: Optional[float] = 0.0
         else:
@@ -106,7 +125,13 @@ class Transport:
             self.deliveries.append(record)
         if latency is None:
             self.messages_lost += 1
+            # Fault-aware link models (FaultyLinkModel) publish why the last
+            # sample was dropped; a bare link model's loss is natural "link"
+            # loss.
+            cause = getattr(self._link_model, "last_drop_cause", None) or "link"
+            self._count_drop(cause, src, dst, now)
             return
+        self._latency_hist.observe(latency)
 
         def deliver() -> None:
             handler = self._handlers.get(dst)
@@ -115,9 +140,11 @@ class Transport:
                 # message is lost, and must be counted as such or loss
                 # statistics under-report.
                 self.messages_lost += 1
+                self._count_drop("unregistered", src, dst, self._simulator.now)
                 if record is not None:
                     record.undeliverable = True
                 return
+            self._delivered_counter.inc()
             handler(src, payload)
 
         self._simulator.schedule_in(latency, deliver, tag=f"deliver:{src}->{dst}")

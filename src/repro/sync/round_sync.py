@@ -28,6 +28,8 @@ from repro.faults.plan import FaultPlan
 from repro.giraf.kernel import GirafAlgorithm
 from repro.giraf.oracle import Oracle
 from repro.giraf.process import GirafProcess
+from repro.obs.recorder import RunRecorder, recorder_or_null
+from repro.obs.registry import MetricsRegistry, registry_or_null
 from repro.sim.clock import Clock
 from repro.sim.events import Event, Simulator
 from repro.sim.transport import Transport
@@ -61,6 +63,8 @@ class SyncedNode:
         latency_estimates: Sequence[float],
         start_time: float = 0.0,
         max_rounds: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        recorder: Optional[RunRecorder] = None,
     ) -> None:
         self.process = process
         self.oracle = oracle
@@ -71,6 +75,13 @@ class SyncedNode:
         self.latency_estimates = list(latency_estimates)
         self.start_time = start_time
         self.max_rounds = max_rounds
+        self._metrics = registry_or_null(metrics)
+        self._recorder = recorder_or_null(recorder)
+        self._rounds_started = self._metrics.counter("sync.rounds_started")
+        self._rounds_jumped = self._metrics.counter("sync.rounds_jumped")
+        self._rounds_shortened = self._metrics.counter("sync.rounds_shortened")
+        self._timeout_fires = self._metrics.counter("sync.timeout_fires")
+        self._late_counter = self._metrics.counter("sync.late_messages")
         self._timer: Optional[Event] = None
         self.running = False
         self.crashed = False
@@ -99,6 +110,9 @@ class SyncedNode:
             self.running = False
             return
         self.round_starts[k] = self.simulator.now
+        self._rounds_started.inc()
+        if local_duration < self.timeout:
+            self._rounds_shortened.inc()
         self.timely_receipts.setdefault(k, set()).add(self.process.pid)
         payload = self.process.outgoing_payload
         if payload is not None:
@@ -126,6 +140,7 @@ class SyncedNode:
         if not self.running or self.crashed:
             return
         self._timer = None
+        self._timeout_fires.inc()
         self._end_round()
         self._begin_round(self.timeout)
 
@@ -189,12 +204,22 @@ class SyncedNode:
             # Future-round message: end this round now, join round k_j,
             # and shorten it by the expected latency of the trigger.
             self.jumps += 1
+            self._rounds_jumped.inc()
+            self._recorder.record(
+                "sync.jump",
+                t=self.simulator.now,
+                pid=self.process.pid,
+                from_round=current,
+                to_round=wire.round_number,
+                src=src,
+            )
             self._end_round(next_round=wire.round_number)
             remaining = self.timeout - self.latency_estimates[src]
             self.timely_receipts.setdefault(wire.round_number, set()).add(src)
             self._begin_round(remaining)
         else:
             self.late_messages += 1
+            self._late_counter.inc()
 
 
 @dataclass
@@ -243,10 +268,14 @@ class SyncRun:
         start_times: Optional[Sequence[float]] = None,
         max_rounds: int = 100,
         fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        recorder: Optional[RunRecorder] = None,
     ) -> None:
         self.n = n
         self.max_rounds = max_rounds
         self.fault_plan = fault_plan
+        self.metrics = registry_or_null(metrics)
+        self.recorder = recorder_or_null(recorder)
         self.simulator = Simulator()
         self.transport = transport_factory(self.simulator)
         if fault_plan is not None:
@@ -257,7 +286,7 @@ class SyncRun:
             # Link-level faults (bursts, partitions, slow links, frozen
             # peers) ride on the wire; round k of the plan maps to the
             # time window [(k-1)*timeout, k*timeout).
-            install_plan(self.transport, fault_plan, timeout)
+            install_plan(self.transport, fault_plan, timeout, metrics=metrics)
             if fault_plan.leader_churn:
                 oracle = ChurningOracle(oracle, fault_plan)
         if clocks is None:
@@ -275,6 +304,8 @@ class SyncRun:
                 latency_estimates=latency_table[pid],
                 start_time=start_times[pid],
                 max_rounds=max_rounds,
+                metrics=metrics,
+                recorder=recorder,
             )
             for pid in range(n)
         ]
@@ -287,18 +318,48 @@ class SyncRun:
         def at(round_number: int) -> float:
             return (round_number - 1) * timeout
 
+        activations = self.metrics
+        recorder = self.recorder
+
+        def do_crash(node: SyncedNode, permanent: bool) -> None:
+            activations.counter("faults.activations", kind="crash").inc()
+            recorder.record(
+                "fault.crash",
+                t=self.simulator.now,
+                pid=node.process.pid,
+                permanent=permanent,
+            )
+            node.crash(permanent)
+
+        def do_recover(node: SyncedNode) -> None:
+            activations.counter("faults.activations", kind="recover").inc()
+            recorder.record(
+                "fault.recover", t=self.simulator.now, pid=node.process.pid
+            )
+            node.recover()
+
+        def do_clock_step(node: SyncedNode, offset: float) -> None:
+            activations.counter("faults.activations", kind="clock-step").inc()
+            recorder.record(
+                "fault.clock_step",
+                t=self.simulator.now,
+                pid=node.process.pid,
+                offset=offset,
+            )
+            node.apply_clock_step(offset)
+
         for crash in plan.crashes:
             node = self.nodes[crash.pid]
             permanent = crash.recover_round is None
             self.simulator.schedule(
                 at(crash.at_round),
-                lambda node=node, permanent=permanent: node.crash(permanent),
+                lambda node=node, permanent=permanent: do_crash(node, permanent),
                 tag=f"fault:crash:{crash.pid}",
             )
             if crash.recover_round is not None:
                 self.simulator.schedule(
                     at(crash.recover_round),
-                    node.recover,
+                    lambda node=node: do_recover(node),
                     tag=f"fault:recover:{crash.pid}",
                 )
         for step in plan.clock_steps:
@@ -309,8 +370,8 @@ class SyncRun:
             node = self.nodes[step.pid]
             self.simulator.schedule(
                 at(step.at_round) + 0.01 * timeout,
-                lambda node=node, offset=step.offset: node.apply_clock_step(
-                    offset
+                lambda node=node, offset=step.offset: do_clock_step(
+                    node, offset
                 ),
                 tag=f"fault:clock-step:{step.pid}",
             )
@@ -357,7 +418,9 @@ class SyncRun:
             # (dropping them shifted every later reading onto the wrong
             # round for any run with jumps).
             if len(starts) == self.n:
-                result.sync_error.append(max(starts) - min(starts))
+                spread = max(starts) - min(starts)
+                result.sync_error.append(spread)
+                self.metrics.histogram("sync.round_sync_error").observe(spread)
             else:
                 result.sync_error.append(float("nan"))
         for node in self.nodes:

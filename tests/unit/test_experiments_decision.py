@@ -57,6 +57,37 @@ class TestDecisionStats:
                 trace_from_bits([1, 1]), "AFM", round_length=1.0, start_points=1
             )
 
+    def test_default_rng_decorrelates_distinct_cells(self):
+        """Regression: the default ``rng`` was ``default_rng(0)``, handing
+        every (run, model, timeout) cell the *same* start points.
+
+        With the bad-prefix vectors used here every start point completes
+        at the first window after the prefix, so ``mean_rounds`` equals
+        ``prefix + window - mean(starts)``: with shared starts the two
+        cells' means differed by the prefix difference (exactly -1.0),
+        which is how the correlation showed up in sweep statistics.
+        """
+        from repro.experiments.decision import decision_stats_from_vector
+
+        vector_a = np.array([False] * 16 + [True] * 14)
+        vector_b = np.array([False] * 17 + [True] * 13)
+        stats_a = decision_stats_from_vector(vector_a, 3, 1.0, 64)
+        stats_b = decision_stats_from_vector(vector_b, 3, 1.0, 64)
+        assert stats_a.censored == 0 and stats_b.censored == 0
+        assert stats_a.mean_rounds - stats_b.mean_rounds != pytest.approx(
+            -1.0
+        )
+
+    def test_default_rng_reproducible_per_call(self):
+        """Content-derived default seeding: the same call always sees the
+        same start points."""
+        from repro.experiments.decision import decision_stats_from_vector
+
+        vector = np.array([False] * 10 + [True] * 20)
+        first = decision_stats_from_vector(vector, 3, 1.0, 16)
+        second = decision_stats_from_vector(vector, 3, 1.0, 16)
+        assert first == second
+
     def test_deterministic_with_seeded_rng(self):
         trace = trace_from_bits([0, 1, 1, 1] * 8)
         a = decision_stats(

@@ -37,6 +37,27 @@ class TestRenderSeries:
         text = render_series(series, max_rows=10)
         assert len(text.splitlines()) < 30
 
+    def test_max_rows_keeps_final_row(self):
+        """Regression: the stride subsample silently dropped the last row,
+        so the largest x value (the longest timeout) never appeared."""
+        series = FigureSeries(
+            figure="1y", x_label="p", x=[float(i) for i in range(100)],
+            series={"A": [float(i) for i in range(100)]},
+        )
+        text = render_series(series, max_rows=10)
+        # step = 100 // 10 = 10 -> rows 0, 10, ..., 90; index 99 must be
+        # appended rather than stepped over.
+        assert "99" in text
+
+    def test_max_rows_no_duplicate_when_stride_lands_on_last(self):
+        # 101 rows, step 10: the stride already ends at index 100.
+        series = FigureSeries(
+            figure="1y", x_label="p", x=[float(i) for i in range(101)],
+            series={"A": [0.0] * 101},
+        )
+        text = render_series(series, max_rows=10)
+        assert text.count("       100") == 1
+
 
 class TestRenderComparison:
     def test_rows_rendered(self):

@@ -1,0 +1,65 @@
+"""Unit tests for the run recorder and manifest (``repro.obs.recorder``)."""
+
+import repro
+from repro.experiments.config import QUICK
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    SCHEMA,
+    RunRecorder,
+    build_manifest,
+    read_jsonl,
+    read_manifest,
+    recorder_or_null,
+    write_manifest,
+)
+
+
+class TestRunRecorder:
+    def test_events_sequenced_in_order(self):
+        recorder = RunRecorder()
+        recorder.record("a", t=1.0, pid=0)
+        recorder.record("b", detail="x")
+        assert [event["seq"] for event in recorder.events] == [0, 1]
+        assert recorder.events[0] == {"seq": 0, "kind": "a", "t": 1.0, "pid": 0}
+        assert "t" not in recorder.events[1]
+
+    def test_disabled_recorder_adds_no_events(self):
+        recorder = RunRecorder(enabled=False)
+        recorder.record("a", t=1.0)
+        assert recorder.events == []
+        NULL_RECORDER.record("b")
+        assert NULL_RECORDER.events == []
+
+    def test_recorder_or_null(self):
+        assert recorder_or_null(None) is NULL_RECORDER
+        live = RunRecorder()
+        assert recorder_or_null(live) is live
+
+    def test_jsonl_round_trip(self, tmp_path):
+        recorder = RunRecorder()
+        recorder.record("transport.drop", t=0.25, src=1, dst=2, cause="crash")
+        recorder.record("sync.jump", t=0.5, pid=0, from_round=1, to_round=3)
+        path = tmp_path / "timeline.jsonl"
+        recorder.write_jsonl(path)
+        assert read_jsonl(path) == recorder.events
+
+
+class TestManifest:
+    def test_schema_and_version_stamped(self):
+        manifest = build_manifest(scale="quick")
+        assert manifest["schema"] == SCHEMA
+        assert manifest["package_version"] == repro.__version__
+        assert manifest["scale"] == "quick"
+
+    def test_dataclasses_flattened(self):
+        manifest = build_manifest(config=QUICK)
+        config = manifest["config"]
+        assert config["n"] == QUICK.n
+        assert config["seed"] == QUICK.seed
+        assert config["timeouts"] == list(QUICK.timeouts)
+
+    def test_round_trip(self, tmp_path):
+        manifest = build_manifest(config=QUICK, seeds={"wan": 1})
+        path = tmp_path / "manifest.json"
+        write_manifest(path, manifest)
+        assert read_manifest(path) == manifest

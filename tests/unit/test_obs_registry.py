@@ -1,0 +1,126 @@
+"""Unit tests for the metrics registry (``repro.obs.registry``)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import (
+    MAX_HISTOGRAM_SAMPLES,
+    NULL_METRICS,
+    MetricsRegistry,
+    registry_or_null,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(5)
+        assert registry.value("x") == 6
+
+    def test_same_key_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("drops", cause="partition").inc()
+        registry.counter("drops", cause="partition").inc()
+        registry.counter("drops", cause="crash").inc()
+        assert registry.value("drops", cause="partition") == 2
+        assert registry.value("drops", cause="crash") == 1
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("m", a=1, b=2).inc()
+        assert registry.counter("m", b=2, a=1).value == 1
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("util")
+        gauge.set(0.5)
+        gauge.set(0.75)
+        assert registry.value("util") == 0.75
+
+
+class TestHistogram:
+    def test_exact_streaming_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("empty").summary() == {"count": 0}
+
+    def test_reservoir_bounded_and_stats_exact_beyond_cap(self):
+        hist = MetricsRegistry().histogram("big")
+        total = 3 * MAX_HISTOGRAM_SAMPLES
+        for i in range(total):
+            hist.observe(float(i))
+        assert len(hist._samples) <= MAX_HISTOGRAM_SAMPLES
+        # Exact stats never degrade, only the percentile reservoir does.
+        assert hist.count == total
+        assert hist.min == 0.0
+        assert hist.max == float(total - 1)
+        # The decimated reservoir still tracks the distribution's middle.
+        assert hist.percentile(0.5) == pytest.approx(total / 2, rel=0.1)
+
+    def test_reservoir_deterministic(self):
+        values = list(np.random.default_rng(7).random(10_000))
+        a = MetricsRegistry().histogram("h")
+        b = MetricsRegistry().histogram("h")
+        for value in values:
+            a.observe(value)
+            b.observe(value)
+        assert a._samples == b._samples
+
+
+class TestDisabledRegistry:
+    def test_disabled_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(1.0)
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_null_singletons_shared(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is registry.counter("b")
+        assert registry.counter("a").value == 0
+
+    def test_registry_or_null(self):
+        assert registry_or_null(None) is NULL_METRICS
+        live = MetricsRegistry()
+        assert registry_or_null(live) is live
+
+
+class TestSnapshot:
+    def test_rendered_names_and_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("transport.dropped", cause="partition").inc(3)
+        registry.gauge("sweep.worker_utilization", phase="wan").set(0.9)
+        registry.histogram("sweep.cell_seconds", phase="wan").observe(0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {
+            "transport.dropped{cause=partition}": 3
+        }
+        assert snapshot["gauges"] == {
+            "sweep.worker_utilization{phase=wan}": 0.9
+        }
+        assert (
+            snapshot["histograms"]["sweep.cell_seconds{phase=wan}"]["count"]
+            == 1
+        )
+
+    def test_value_missing_instrument(self):
+        assert MetricsRegistry().value("nope") is None

@@ -87,3 +87,65 @@ class TestMain:
     def test_bad_scale_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--scale", "galactic", "--out", str(tmp_path)])
+
+    def test_progress_output_is_flushed(self, tmp_path, monkeypatch):
+        """Regression: progress prints were block-buffered when stdout is
+        piped, so CI logs showed nothing until the slow WAN sweep ended.
+        Every progress print must pass ``flush=True``."""
+        import builtins
+
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=40, runs=1, start_points=2,
+            timeouts=(0.21,), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny)
+
+        unflushed = []
+        real_print = builtins.print
+
+        def spying_print(*args, **kwargs):
+            if not kwargs.get("flush", False):
+                unflushed.append(args)
+            return real_print(*args, **kwargs)
+
+        monkeypatch.setattr(builtins, "print", spying_print)
+        assert main(["--out", str(tmp_path)]) == 0
+        assert unflushed == []
+
+
+class TestMetricsFlag:
+    def _tiny_configs(self, monkeypatch):
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=60, runs=2, start_points=3,
+            timeouts=(0.16, 0.21), seed=1,
+        )
+        tiny_lan = SweepConfig(
+            rounds_per_run=40, runs=2, start_points=3,
+            timeouts=(0.0002, 0.0009), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny_lan)
+
+    def test_metrics_dir_artifacts(self, tmp_path, monkeypatch):
+        self._tiny_configs(monkeypatch)
+        metrics_dir = tmp_path / "metrics"
+        exit_code = main(
+            ["--out", str(tmp_path / "out"), "--metrics", str(metrics_dir)]
+        )
+        assert exit_code == 0
+        for name in (
+            "manifest.json", "timeline.jsonl", "metrics.json", "metrics.txt"
+        ):
+            assert (metrics_dir / name).exists(), name
+
+    def test_no_metrics_flag_writes_nothing(self, tmp_path, monkeypatch):
+        self._tiny_configs(monkeypatch)
+        assert main(["--out", str(tmp_path / "out")]) == 0
+        assert not (tmp_path / "metrics").exists()

@@ -60,6 +60,46 @@ class TestRunTrace:
         assert plain_result.decision_rounds == traced_result.decision_rounds
 
 
+class TestRoundZeroEvents:
+    def test_initialize_survives_second_event_on_same_slot(self):
+        """Regression: keying events by (round, pid) alone let a second
+        round-0 event overwrite the ``initialize`` record — every inner
+        instance of a consensus sequence initializes at round 0, so all
+        but the last initial proposal vanished from traces."""
+        trace = RunTrace()
+        first = TracingAlgorithm(WlmConsensus(0, 4, "first"), trace)
+        first.initialize(0)
+        second = TracingAlgorithm(WlmConsensus(0, 4, "second"), trace)
+        second.initialize(0)
+        slot = trace.events[0][0]
+        assert len(slot) == 2
+        assert [event.kind for event in slot] == ["initialize", "initialize"]
+        proposals = [event.payload.est for event in slot]
+        assert proposals == ["first", "second"]
+
+    def test_kinds_distinguish_initialize_from_compute(self):
+        trace, result = traced_run()
+        kinds = {
+            event.kind
+            for slot in trace.events[0].values()
+            for event in slot
+        }
+        assert kinds == {"initialize"}
+        later = {
+            event.kind
+            for slot in trace.events[1].values()
+            for event in slot
+        }
+        assert later == {"compute"}
+
+    def test_render_shows_all_slot_events(self):
+        trace = RunTrace()
+        TracingAlgorithm(WlmConsensus(0, 4, "one"), trace).initialize(0)
+        TracingAlgorithm(WlmConsensus(0, 4, "two"), trace).initialize(0)
+        text = render_trace(trace, column_width=50)
+        assert "'one'" in text and "'two'" in text
+
+
 class TestRenderTrace:
     def test_renders_cascade(self):
         trace, _ = traced_run()
