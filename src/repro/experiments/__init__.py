@@ -16,6 +16,9 @@ provided: ``QUICK`` (seconds, used by default in the benchmark suite) and
 
 from repro.experiments.config import SweepConfig, QUICK, PAPER
 from repro.experiments.measurement import (
+    TRACE_SAMPLER_VERSION,
+    sample_latency_trace,
+    sample_latency_trace_scalar,
     sample_wan_trace,
     sample_lan_trace,
     measured_p,
@@ -52,6 +55,9 @@ __all__ = [
     "SweepConfig",
     "QUICK",
     "PAPER",
+    "TRACE_SAMPLER_VERSION",
+    "sample_latency_trace",
+    "sample_latency_trace_scalar",
     "sample_wan_trace",
     "sample_lan_trace",
     "measured_p",

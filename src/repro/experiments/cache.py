@@ -11,11 +11,14 @@ Layout and invalidation
 -----------------------
 
 Each trace lives at ``<root>/<profile>/<sha256[:32]>.npy``.  The key is a
-SHA-256 hash of the canonical parameter string (versioned with
-``trace:v1`` so a change to the trace format can retire old entries);
-changing *any* parameter — including the root seed — changes the key, so
-stale entries are never read, only orphaned.  Deleting the cache
-directory is always safe.
+SHA-256 hash of the canonical parameter string, versioned twice over:
+``trace:v2`` covers the trace *format*, and a ``sampler=`` field carries
+:data:`repro.experiments.measurement.TRACE_SAMPLER_VERSION` so a change
+to the sampler's draw order (e.g. the v2 move to per-link RNG
+substreams) retires entries sampled by older code.  Changing *any*
+parameter — including the root seed — changes the key, so stale entries
+are never read, only orphaned.  Deleting the cache directory is always
+safe.
 
 Writes go through a temp file plus :func:`os.replace`, so concurrent
 sweep workers racing on the same key are harmless: both compute the same
@@ -43,7 +46,8 @@ def trace_key(
 ) -> str:
     """Content hash identifying one trace's full parameter set."""
     blob = (
-        f"trace:v1:{profile}:n={int(n)}:rounds={int(rounds)}"
+        f"trace:v2:sampler={measurement.TRACE_SAMPLER_VERSION}"
+        f":{profile}:n={int(n)}:rounds={int(rounds)}"
         f":round_length={float(round_length)!r}:seed={int(seed)}"
     )
     return hashlib.sha256(blob.encode()).hexdigest()[:32]

@@ -25,10 +25,38 @@ from repro.net.lan import LanProfile
 from repro.net.planetlab import PlanetLabProfile
 
 
+#: Version tag of the batch trace sampler, folded into the trace-cache key
+#: (see :func:`repro.experiments.cache.trace_key`): bump it whenever the
+#: sampler's draw order changes so stale cached traces orphan cleanly.
+TRACE_SAMPLER_VERSION = "batch1"
+
+
 def sample_latency_trace(
     model: LatencyModel, rounds: int, round_length: float
 ) -> np.ndarray:
-    """``rounds`` latency matrices; entry ``[k, dst, src]`` in seconds."""
+    """``rounds`` latency matrices; entry ``[k, dst, src]`` in seconds.
+
+    Batch-capable models (see
+    :meth:`~repro.net.base.LatencyModel.sample_trace_batch`) sample the
+    whole trace in one vectorized pass from per-link RNG substreams — a
+    pure function of ``(model parameters, seed)``, bit-identical across
+    calls, processes and ``--jobs`` values.  Other models fall back to
+    the per-round scalar loop (:func:`sample_latency_trace_scalar`).
+    """
+    if model.supports_batch_trace:
+        return model.sample_trace_batch(rounds, round_length)
+    return sample_latency_trace_scalar(model, rounds, round_length)
+
+
+def sample_latency_trace_scalar(
+    model: LatencyModel, rounds: int, round_length: float
+) -> np.ndarray:
+    """The per-round reference sampler (consumes the model's shared RNG).
+
+    Kept as the baseline the batch path is validated against
+    (``tests/properties/test_prop_batch_sampling.py``) and benchmarked
+    against (``benchmarks/test_trace_gen_speedup.py``).
+    """
     return np.array(
         [model.sample_round_latencies(k * round_length) for k in range(rounds)]
     )

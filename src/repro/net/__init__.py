@@ -21,10 +21,12 @@ provides the simulated stand-ins (see DESIGN.md, "Substitutions"):
 from repro.net.base import LatencyModel, MatrixSampler
 from repro.net.iid import BernoulliLinkModel
 from repro.net.latency import (
+    ConstantLatency,
     LogNormalLatency,
     TailedLatency,
     ScaledLatency,
     LossyLatency,
+    WindowedSlowdown,
 )
 from repro.net.lan import LanProfile, lan_profile
 from repro.net.planetlab import PlanetLabProfile, planetlab_profile, PLANETLAB_SITES
@@ -34,6 +36,8 @@ __all__ = [
     "LatencyModel",
     "MatrixSampler",
     "BernoulliLinkModel",
+    "ConstantLatency",
+    "WindowedSlowdown",
     "LogNormalLatency",
     "TailedLatency",
     "ScaledLatency",

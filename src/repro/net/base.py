@@ -21,9 +21,38 @@ from typing import Optional
 
 import numpy as np
 
+from repro.sim.rng import derive_pcg64_state
+
+#: (seed, src, dst, start_round) -> raw PCG64 state dict.  Substreams are
+#: pure functions of their key (model-independent by design), so the cache
+#: is shared process-wide; entries are a few hundred bytes each.
+_LINK_STATE_CACHE: dict = {}
+
 
 class LatencyModel(abc.ABC):
-    """A network: per-message latency sampling plus matrix sampling."""
+    """A network: per-message latency sampling plus matrix sampling.
+
+    Two sampling paths coexist:
+
+    - the *scalar* path (:meth:`sample_latency`,
+      :meth:`sample_round_latencies`) draws from the model's shared
+      stateful generator, one message or one round at a time;
+    - the *batch* path (:meth:`sample_link_batch`,
+      :meth:`sample_trace_batch`) draws each directed link's full column
+      of rounds in one vectorized pass from a per-link RNG substream
+      derived by :func:`repro.sim.rng.derive_seed` — counter-style
+      splittable seeding, so a whole trace is a pure function of
+      ``(model parameters, seed)``, independent of sampling order and of
+      which process samples it.
+
+    The paths consume randomness differently and therefore do not
+    reproduce each other draw-for-draw; they sample identical per-link
+    distributions (asserted by ``tests/properties``).
+    """
+
+    #: Subclasses that implement :meth:`sample_link_batch` set this True;
+    #: consumers use it to choose the batch trace path.
+    supports_batch_trace: bool = False
 
     def __init__(self, n: int, seed: int = 0) -> None:
         if n < 2:
@@ -31,6 +60,11 @@ class LatencyModel(abc.ABC):
         self.n = n
         self.seed = seed
         self._rng = np.random.default_rng(seed)
+        # One scratch bit generator the trace loop reuses; see
+        # _trace_stream.  Link substream states live in the module-level
+        # _LINK_STATE_CACHE: they depend only on (seed, link), never on
+        # the model, so fresh instances of the same seed share them.
+        self._scratch_bitgen: Optional[np.random.PCG64] = None
 
     @abc.abstractmethod
     def sample_latency(self, src: int, dst: int, now: float) -> Optional[float]:
@@ -56,6 +90,107 @@ class LatencyModel(abc.ABC):
                 latencies[dst, src] = np.inf if sample is None else sample
         return latencies
 
+    # ------------------------------------------------------------------
+    # Batch path: per-link substreams, whole-trace sampling.
+    # ------------------------------------------------------------------
+    #: Time-invariant models (no slow windows, no load spikes) can be
+    #: pre-sampled without knowing send times; the event-driven transport
+    #: uses this to consume per-link latency streams.
+    @property
+    def is_time_invariant(self) -> bool:
+        return False
+
+    def link_stream(
+        self, src: int, dst: int, start_round: int = 0
+    ) -> np.random.Generator:
+        """The independent RNG substream of the directed link ``src → dst``.
+
+        Seeded by hashing ``(seed, link)``, so every link's stream is
+        distinct, stable across runs, and independent of the order links
+        are sampled in.  ``start_round`` salts the stream for trace blocks
+        that do not start at round 0 (see :class:`MatrixSampler`), keeping
+        consecutive blocks independent without per-link cursor state.
+
+        The hash digest is installed as the raw PCG64 state
+        (:func:`~repro.sim.rng.derive_pcg64_state`), skipping numpy's
+        seed-sequence mixing pass — SHA-256 already did the mixing.
+        """
+        bitgen = np.random.PCG64(0)
+        bitgen.state = self._link_state(src, dst, start_round)
+        return np.random.Generator(bitgen)
+
+    def _link_state(self, src: int, dst: int, start_round: int) -> dict:
+        """The cached raw PCG64 state of one link's substream."""
+        key = (self.seed, src, dst, start_round)
+        state = _LINK_STATE_CACHE.get(key)
+        if state is None:
+            name = f"link:{src}->{dst}"
+            if start_round:
+                name = f"{name}:from:{start_round}"
+            state = derive_pcg64_state(self.seed, name)
+            _LINK_STATE_CACHE[key] = state
+        return state
+
+    def _trace_stream(
+        self, src: int, dst: int, start_round: int
+    ) -> np.random.Generator:
+        """:meth:`link_stream`, but recycling one scratch bit generator.
+
+        Seeding a fresh PCG64 object costs ~10x a raw state assignment,
+        and trace sampling needs n² streams per call; assigning each
+        link's cached state to a single shared bit generator yields
+        bit-identical draws.  The returned generator is therefore only
+        valid until the next ``_trace_stream`` call on this model —
+        callers must finish with it immediately, which the
+        one-link-at-a-time trace loop does.  Long-lived consumers (the
+        transport's per-link streams) use :meth:`link_stream` instead.
+        """
+        bitgen = self._scratch_bitgen
+        if bitgen is None:
+            bitgen = self._scratch_bitgen = np.random.PCG64(0)
+        bitgen.state = self._link_state(src, dst, start_round)
+        return np.random.Generator(bitgen)
+
+    def sample_link_batch(
+        self,
+        src: int,
+        dst: int,
+        times: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Latencies of every message ``src → dst`` sent at ``times``.
+
+        Lost messages appear as ``+inf``.  With no explicit ``rng`` the
+        link's own substream (:meth:`link_stream`) is used.  Subclasses
+        that override this must also set ``supports_batch_trace``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batch sampling"
+        )
+
+    def sample_trace_batch(
+        self, rounds: int, round_length: float, start_round: int = 0
+    ) -> np.ndarray:
+        """A whole latency trace, shape ``(rounds, n, n)``, batch-sampled.
+
+        Round ``k`` is sent at ``(start_round + k) * round_length``; entry
+        ``[k, dst, src]`` is the latency of ``src``'s message to ``dst``
+        (``+inf`` = lost, diagonal 0).  Each link's column comes from its
+        own substream, so the result is bit-reproducible across calls and
+        across processes — it never touches the model's shared ``_rng``.
+        """
+        times = (start_round + np.arange(rounds)) * round_length
+        trace = np.zeros((rounds, self.n, self.n))
+        for src in range(self.n):
+            for dst in range(self.n):
+                if src == dst:
+                    continue
+                rng = self._trace_stream(src, dst, start_round)
+                trace[:, dst, src] = self.sample_link_batch(
+                    src, dst, times, rng
+                )
+        return trace
+
     def reseed(self, seed: int) -> None:
         """Reset the random state (used to start a new independent run)."""
         self.seed = seed
@@ -80,22 +215,40 @@ class MatrixSampler:
 
     def next_matrix(self) -> np.ndarray:
         """The timely matrix of the next round (diagonal always true)."""
-        now = self._round * self.timeout
-        self._round += 1
-        latencies = self.model.sample_round_latencies(now)
+        latencies = self._next_latency_block(1)[0]
         matrix = latencies < self.timeout
         np.fill_diagonal(matrix, True)
         return matrix
 
+    def _next_latency_block(self, rounds: int) -> np.ndarray:
+        """Latency matrices for the next ``rounds`` rounds, advancing the
+        round clock once — the single sampling loop behind
+        :meth:`next_matrix`, :meth:`sample_trace` and
+        :meth:`sample_latency_trace`.  Batch-capable models sample the
+        whole block in one vectorized pass from block-salted per-link
+        substreams; others fall back to the per-round scalar path.
+        """
+        start = self._round
+        self._round += rounds
+        if self.model.supports_batch_trace:
+            return self.model.sample_trace_batch(
+                rounds, self.timeout, start_round=start
+            )
+        return np.array(
+            [
+                self.model.sample_round_latencies((start + k) * self.timeout)
+                for k in range(rounds)
+            ]
+        )
+
     def sample_trace(self, rounds: int) -> list[np.ndarray]:
         """Matrices for the next ``rounds`` rounds."""
-        return [self.next_matrix() for _ in range(rounds)]
+        latencies = self._next_latency_block(rounds)
+        matrices = latencies < self.timeout
+        n = matrices.shape[1]
+        matrices[:, np.arange(n), np.arange(n)] = True
+        return list(matrices)
 
     def sample_latency_trace(self, rounds: int) -> list[np.ndarray]:
         """Raw latency matrices (for p-vs-timeout curves, Figure 1(d))."""
-        traces = []
-        for _ in range(rounds):
-            now = self._round * self.timeout
-            self._round += 1
-            traces.append(self.model.sample_round_latencies(now))
-        return traces
+        return list(self._next_latency_block(rounds))

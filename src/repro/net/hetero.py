@@ -72,9 +72,17 @@ class SlowWindows:
         position = ((now + self.phase) % self.period) / self.period
         return position < self.duty
 
+    def active_mask(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`active` over an array of send times."""
+        times = np.asarray(times, dtype=float)
+        position = ((times + self.phase) % self.period) / self.period
+        return position < self.duty
+
 
 class HeterogeneousNetwork(LatencyModel):
     """Parametric per-link latency model; see the module docstring."""
+
+    supports_batch_trace = True
 
     def __init__(
         self,
@@ -180,6 +188,136 @@ class HeterogeneousNetwork(LatencyModel):
         losses = rng.random((n, n)) < self.loss_prob
         latencies[losses] = np.inf
         np.fill_diagonal(latencies, 0.0)
+        return latencies
+
+    # ------------------------------------------------------------------
+    # Batch path: whole-trace sampling from per-link RNG substreams.
+    # ------------------------------------------------------------------
+    @property
+    def is_time_invariant(self) -> bool:
+        return not self.slow_nodes
+
+    def _link_column(
+        self,
+        src: int,
+        dst: int,
+        times: np.ndarray,
+        rng: np.random.Generator,
+        defer_queue: bool,
+        active_masks: Optional[dict] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One link's latencies for all of ``times`` plus its loss mask.
+
+        Loss is returned separately (not yet ``+inf``) because the
+        whole-round queue ranking must see lost messages' sampled
+        latencies, exactly as :meth:`sample_round_latencies` ranks before
+        applying loss.  ``defer_queue`` skips queue-mode slowness so the
+        trace path can rank actual arrivals in a post-pass; the single-link
+        path charges the expected rank instead, like
+        :meth:`sample_latency`.  ``active_masks`` (node -> boolean mask
+        over ``times``) lets the trace loop precompute each slow node's
+        windows once instead of per link.
+        """
+        count = np.asarray(times, dtype=float).shape[0]
+        # One normal vector and one 2-row uniform block (tail odds, loss)
+        # per link: RNG call count, not element count, dominates here.
+        latencies = self.base[dst, src] * np.exp(
+            self.sigma[dst, src] * rng.standard_normal(count)
+        )
+        uniforms = rng.random((2, count))
+        tails = uniforms[0] < self.tail_prob[dst, src]
+        hits = np.count_nonzero(tails)
+        if hits:
+            latencies[tails] *= 1.0 + rng.pareto(self.tail_shape, size=hits)
+        for node, role in ((dst, "in"), (src, "out")) if self.slow_nodes else ():
+            slow = self.slow_nodes.get(node)
+            if slow is None:
+                continue
+            if active_masks is not None:
+                active = active_masks[node]
+            else:
+                active = slow.active_mask(times)
+            if not active.any():
+                continue
+            if slow.mode == "queue":
+                if not defer_queue and role == "in":
+                    latencies[active] += (
+                        slow.queue_unit * self._expected_rank(src, dst)
+                    )
+                continue
+            if slow.direction not in (role, "both"):
+                continue
+            affected = active
+            if slow.per_message_prob < 1.0:
+                affected = active & (
+                    rng.random(count) < slow.per_message_prob
+                )
+            latencies[affected] *= slow.factor
+        lost = uniforms[1] < self.loss_prob[dst, src]
+        return latencies, lost
+
+    def sample_link_batch(
+        self,
+        src: int,
+        dst: int,
+        times: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        if rng is None:
+            rng = self.link_stream(src, dst)
+        latencies, lost = self._link_column(
+            src, dst, times, rng, defer_queue=False
+        )
+        latencies[lost] = np.inf
+        return latencies
+
+    def sample_trace_batch(
+        self, rounds: int, round_length: float, start_round: int = 0
+    ) -> np.ndarray:
+        times = (start_round + np.arange(rounds)) * round_length
+        n = self.n
+        latencies = np.zeros((rounds, n, n))
+        lost = np.zeros((rounds, n, n), dtype=bool)
+        active_masks = {
+            node: slow.active_mask(times)
+            for node, slow in self.slow_nodes.items()
+        }
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                rng = self._trace_stream(src, dst, start_round)
+                column, column_lost = self._link_column(
+                    src, dst, times, rng, defer_queue=True,
+                    active_masks=active_masks,
+                )
+                latencies[:, dst, src] = column
+                lost[:, dst, src] = column_lost
+        for node, slow in self.slow_nodes.items():
+            if slow.mode != "queue":
+                continue
+            active = np.flatnonzero(slow.active_mask(times))
+            if active.size == 0:
+                continue
+            senders = np.array(
+                [src for src in range(n) if src != node], dtype=int
+            )
+            incoming = latencies[np.ix_(active, [node], senders)][:, 0, :]
+            order = np.argsort(incoming, axis=1, kind="stable")
+            ranks = np.empty_like(order)
+            np.put_along_axis(
+                ranks,
+                order,
+                np.broadcast_to(
+                    np.arange(senders.size), order.shape
+                ).copy(),
+                axis=1,
+            )
+            latencies[np.ix_(active, [node], senders)] += (
+                slow.queue_unit * ranks[:, None, :]
+            )
+        latencies[lost] = np.inf
+        latencies[:, np.arange(n), np.arange(n)] = 0.0
         return latencies
 
     # ------------------------------------------------------------------

@@ -19,6 +19,8 @@ from repro.net.base import LatencyModel
 class BernoulliLinkModel(LatencyModel):
     """IID links: timely with probability ``p`` relative to ``timeout``."""
 
+    supports_batch_trace = True
+
     def __init__(
         self,
         n: int,
@@ -48,3 +50,32 @@ class BernoulliLinkModel(LatencyModel):
         if self._rng.random() < self.p:
             return float(self._rng.random() * self.timeout)
         return float(self.timeout * (1.0 + self._rng.random() * (self.late_factor - 1.0)))
+
+    # ------------------------------------------------------------------
+    # Batch path: the whole column of a link's rounds in one pass.
+    # ------------------------------------------------------------------
+    @property
+    def is_time_invariant(self) -> bool:
+        return True
+
+    def sample_link_batch(
+        self,
+        src: int,
+        dst: int,
+        times: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        if rng is None:
+            rng = self.link_stream(src, dst)
+        count = np.asarray(times, dtype=float).shape[0]
+        uniforms = rng.random((3, count))
+        lost = uniforms[0] < self.loss_prob
+        timely = uniforms[1] < self.p
+        spread = uniforms[2]
+        latencies = np.where(
+            timely,
+            spread * self.timeout,
+            self.timeout * (1.0 + spread * (self.late_factor - 1.0)),
+        )
+        latencies[lost] = np.inf
+        return latencies

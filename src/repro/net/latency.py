@@ -14,6 +14,19 @@ scheduling).  Profiles compose per-link distributions from:
   load windows).
 
 All values are in seconds.
+
+Every distribution offers two sampling paths over the same parameters:
+
+- :meth:`~LatencyDistribution.sample` — one scalar draw at a send time
+  (the event-driven transport's path);
+- :meth:`~LatencyDistribution.sample_batch` — all draws for a vector of
+  send times in one vectorized NumPy pass, with lost messages encoded as
+  ``+inf`` (the batch trace generator's path).
+
+The two paths consume the generator differently (a batch draws whole
+vectors), so they do not reproduce each other bit-for-bit from the same
+seed; they draw from identical distributions, which is what the
+equivalence property tests assert.
 """
 
 from __future__ import annotations
@@ -31,6 +44,22 @@ class LatencyDistribution(abc.ABC):
     def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
         """One latency sample, or ``None`` for a lost message."""
 
+    def sample_batch(
+        self, rng: np.random.Generator, times: np.ndarray
+    ) -> np.ndarray:
+        """Latency samples for every send time in ``times``.
+
+        Lost messages appear as ``+inf``.  The base implementation loops
+        :meth:`sample` so any third-party distribution works unchanged;
+        the built-in distributions override it with vectorized draws.
+        """
+        times = np.asarray(times, dtype=float)
+        out = np.empty(times.shape, dtype=float)
+        for k, now in enumerate(times):
+            sample = self.sample(rng, float(now))
+            out[k] = np.inf if sample is None else sample
+        return out
+
 
 class ConstantLatency(LatencyDistribution):
     """A degenerate distribution (useful in tests)."""
@@ -42,6 +71,11 @@ class ConstantLatency(LatencyDistribution):
 
     def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
         return self.value
+
+    def sample_batch(
+        self, rng: np.random.Generator, times: np.ndarray
+    ) -> np.ndarray:
+        return np.full(np.asarray(times, dtype=float).shape, self.value)
 
 
 class LogNormalLatency(LatencyDistribution):
@@ -61,6 +95,12 @@ class LogNormalLatency(LatencyDistribution):
 
     def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
         return float(self.median * np.exp(self.sigma * rng.standard_normal()))
+
+    def sample_batch(
+        self, rng: np.random.Generator, times: np.ndarray
+    ) -> np.ndarray:
+        size = np.asarray(times, dtype=float).shape
+        return self.median * np.exp(self.sigma * rng.standard_normal(size))
 
 
 class TailedLatency(LatencyDistribution):
@@ -91,6 +131,17 @@ class TailedLatency(LatencyDistribution):
             sample *= 1.0 + float(rng.pareto(self.shape))
         return sample
 
+    def sample_batch(
+        self, rng: np.random.Generator, times: np.ndarray
+    ) -> np.ndarray:
+        out = self.body.sample_batch(rng, times)
+        tails = rng.random(out.shape) < self.tail_prob
+        hits = int(tails.sum())
+        if hits:
+            # +inf (a lost body sample) stays +inf under the excursion.
+            out[tails] *= 1.0 + rng.pareto(self.shape, size=hits)
+        return out
+
 
 class LossyLatency(LatencyDistribution):
     """Drops a message with probability ``loss_prob`` (UDP loss)."""
@@ -105,6 +156,14 @@ class LossyLatency(LatencyDistribution):
         if rng.random() < self.loss_prob:
             return None
         return self.inner.sample(rng, now)
+
+    def sample_batch(
+        self, rng: np.random.Generator, times: np.ndarray
+    ) -> np.ndarray:
+        lost = rng.random(np.asarray(times, dtype=float).shape) < self.loss_prob
+        out = self.inner.sample_batch(rng, times)
+        out[lost] = np.inf
+        return out
 
 
 class ScaledLatency(LatencyDistribution):
@@ -121,6 +180,11 @@ class ScaledLatency(LatencyDistribution):
         if sample is None:
             return None
         return sample * self.factor
+
+    def sample_batch(
+        self, rng: np.random.Generator, times: np.ndarray
+    ) -> np.ndarray:
+        return self.inner.sample_batch(rng, times) * self.factor
 
 
 class WindowedSlowdown(LatencyDistribution):
@@ -157,6 +221,12 @@ class WindowedSlowdown(LatencyDistribution):
         position = ((now + self.phase) % self.period) / self.period
         return position < self.duty
 
+    def slow_window_mask(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`in_slow_window` over an array of send times."""
+        times = np.asarray(times, dtype=float)
+        position = ((times + self.phase) % self.period) / self.period
+        return position < self.duty
+
     def sample(self, rng: np.random.Generator, now: float) -> Optional[float]:
         sample = self.inner.sample(rng, now)
         if sample is None:
@@ -164,3 +234,10 @@ class WindowedSlowdown(LatencyDistribution):
         if self.in_slow_window(now):
             sample *= self.factor
         return sample
+
+    def sample_batch(
+        self, rng: np.random.Generator, times: np.ndarray
+    ) -> np.ndarray:
+        out = self.inner.sample_batch(rng, times)
+        out[self.slow_window_mask(times)] *= self.factor
+        return out

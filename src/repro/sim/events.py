@@ -205,5 +205,13 @@ class Simulator:
         return self._now
 
     def drain(self) -> None:
-        """Discard all pending events (used when tearing a run down)."""
+        """Discard all pending events (used when tearing a run down).
+
+        Discarded events are detached from the abandoned queue so a
+        post-drain ``cancel()`` is a true no-op instead of decrementing
+        the dead queue's live count (and pinning it in memory through the
+        back-reference).
+        """
+        for event in self._queue._heap:
+            event._queue = None
         self._queue = EventQueue()

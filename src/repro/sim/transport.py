@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Protocol
 
+import numpy as np
+
 from repro.obs.recorder import RunRecorder, recorder_or_null
 from repro.obs.registry import Counter, MetricsRegistry, registry_or_null
 from repro.sim.events import Simulator
@@ -52,6 +54,10 @@ class Delivery:
         return self.sent_at + self.latency
 
 
+#: How many latencies a pre-sampled link stream draws per refill.
+STREAM_CHUNK = 256
+
+
 class Transport:
     """Delivers payloads between numbered nodes through a :class:`LinkModel`.
 
@@ -59,6 +65,24 @@ class Transport:
     :meth:`send`.  Local (self-addressed) messages are delivered with zero
     latency and never lost, mirroring the paper's convention that a
     process's link with itself is always timely.
+
+    When the installed link model is batch-capable *and* time-invariant
+    (no slow windows or load spikes — e.g. a clean
+    :class:`~repro.net.hetero.HeterogeneousNetwork` or the Bernoulli
+    model), :meth:`send` consumes pre-sampled per-link latency streams:
+    each directed link draws :data:`STREAM_CHUNK` latencies at a time
+    from its own RNG substream
+    (:meth:`~repro.net.base.LatencyModel.link_stream`), so a link's
+    latency sequence is independent of global send interleaving.  Dynamic
+    models (a :class:`~repro.net.planetlab.PlanetLabProfile` in a
+    slow-Poland run) and fault wrappers installed via the
+    :attr:`link_model` setter fall back to scalar
+    ``sample_latency`` — time-dependent behaviour cannot be pre-sampled.
+
+    With ``trace=True`` every delivery is recorded; payload *objects* are
+    only retained when ``trace_payloads=True``, so long robustness runs
+    tracing millions of messages keep metadata without pinning every
+    payload in memory forever.
     """
 
     def __init__(
@@ -66,6 +90,8 @@ class Transport:
         simulator: Simulator,
         link_model: LinkModel,
         trace: bool = False,
+        trace_payloads: bool = False,
+        batch_streams: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         recorder: Optional[RunRecorder] = None,
     ) -> None:
@@ -73,6 +99,10 @@ class Transport:
         self._link_model = link_model
         self._handlers: dict[int, Callable[[int, Any], None]] = {}
         self._trace = trace
+        self._trace_payloads = trace_payloads
+        self._batch_streams = batch_streams
+        self._streams: dict[tuple[int, int], tuple] = {}
+        self._streams_usable = self._model_streamable(link_model)
         self.deliveries: list[Delivery] = []
         self.messages_sent = 0
         self.messages_lost = 0
@@ -82,6 +112,14 @@ class Transport:
         self._delivered_counter = self._metrics.counter("transport.delivered")
         self._latency_hist = self._metrics.histogram("transport.latency_seconds")
         self._drop_counters: dict[str, Counter] = {}
+
+    @staticmethod
+    def _model_streamable(model: LinkModel) -> bool:
+        """Can per-link latency streams be pre-sampled from ``model``?"""
+        return bool(
+            getattr(model, "supports_batch_trace", False)
+            and getattr(model, "is_time_invariant", False)
+        )
 
     def _count_drop(self, cause: str, src: int, dst: int, now: float) -> None:
         counter = self._drop_counters.get(cause)
@@ -101,6 +139,37 @@ class Transport:
     @link_model.setter
     def link_model(self, model: LinkModel) -> None:
         self._link_model = model
+        # A new model (typically a fault wrapper) invalidates pre-sampled
+        # streams; wrappers are not batch-capable, so this also flips the
+        # transport onto the scalar fallback path.
+        self._streams.clear()
+        self._streams_usable = self._model_streamable(model)
+
+    def reset_link_streams(self) -> None:
+        """Discard pre-sampled per-link latencies (e.g. after a model
+        ``reseed``); the next send per link re-derives its substream."""
+        self._streams.clear()
+        self._streams_usable = self._model_streamable(self._link_model)
+
+    def _next_stream_latency(self, src: int, dst: int) -> Optional[float]:
+        """Pop the next pre-sampled latency of the link ``src → dst``."""
+        key = (src, dst)
+        state = self._streams.get(key)
+        if state is None:
+            state = [self._link_model.link_stream(src, dst), np.empty(0), 0]
+            self._streams[key] = state
+        rng, chunk, cursor = state
+        if cursor >= chunk.shape[0]:
+            # Time-invariant models ignore send times; any placeholder
+            # vector of the right length works.
+            chunk = self._link_model.sample_link_batch(
+                src, dst, np.zeros(STREAM_CHUNK), rng
+            )
+            cursor = 0
+            state[1] = chunk
+        value = chunk[cursor]
+        state[2] = cursor + 1
+        return None if np.isinf(value) else float(value)
 
     def register(self, node: int, handler: Callable[[int, Any], None]) -> None:
         """Install ``handler(src, payload)`` as the receive callback of ``node``."""
@@ -115,12 +184,18 @@ class Transport:
         self._sent_counter.inc()
         if src == dst:
             latency: Optional[float] = 0.0
+        elif self._batch_streams and self._streams_usable:
+            latency = self._next_stream_latency(src, dst)
         else:
             latency = self._link_model.sample_latency(src, dst, now)
         record: Optional[Delivery] = None
         if self._trace:
             record = Delivery(
-                src=src, dst=dst, sent_at=now, latency=latency, payload=payload
+                src=src,
+                dst=dst,
+                sent_at=now,
+                latency=latency,
+                payload=payload if self._trace_payloads else None,
             )
             self.deliveries.append(record)
         if latency is None:

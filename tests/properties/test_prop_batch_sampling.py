@@ -1,0 +1,164 @@
+"""Property tests of the batch trace sampler.
+
+Two families of guarantees (see DESIGN.md, "Batch trace generation"):
+
+- *Faithfulness*: the batch path draws from the same distributions as the
+  scalar paths it replaced.  The two consume randomness in different
+  orders, so the comparison is distributional — delivery probability,
+  median latency, tail frequency — never bit-level.
+
+- *Purity*: a batch trace is a pure function of ``(profile parameters,
+  seed)``.  It is bit-identical across repeated calls, across fresh model
+  instances, and across worker processes — which is what makes the
+  on-disk trace cache and the ``--jobs`` sweep engine safe.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.measurement import (
+    measured_p,
+    sample_latency_trace,
+    sample_latency_trace_scalar,
+)
+from repro.net.lan import LanProfile
+from repro.net.planetlab import PlanetLabProfile
+
+#: Seed 3 makes the PlanetLab decider choose a slow-Poland run, so the
+#: comparison exercises the scale-mode slow windows too.
+SLOW_WAN_SEED = 3
+
+#: (factory, canonical round length) per profile; the round lengths are
+#: the timeouts the paper's figures sweep around.
+PROFILES = {
+    "lan": (LanProfile, 0.35e-3),
+    "wan-slow": (lambda seed: PlanetLabProfile(seed=seed), 0.2),
+}
+
+
+def scalar_trace(name, seed, rounds):
+    factory, round_length = PROFILES[name]
+    model = factory(seed=seed)
+    return sample_latency_trace_scalar(model, rounds, round_length)
+
+
+def batch_trace(name, seed, rounds):
+    factory, round_length = PROFILES[name]
+    model = factory(seed=seed)
+    assert model.supports_batch_trace
+    return model.sample_trace_batch(rounds, round_length)
+
+
+def _worker_trace(args):
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    name, seed, rounds = args
+    return batch_trace(name, seed, rounds)
+
+
+def off_diagonal(trace):
+    n = trace.shape[1]
+    return trace[:, ~np.eye(n, dtype=bool)]
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+class TestScalarVsBatchDistributions:
+    ROUNDS = 2500
+
+    def stats(self, trace, round_length):
+        values = off_diagonal(trace)
+        finite = values[np.isfinite(values)]
+        return {
+            "delivery_prob": measured_p(trace, round_length),
+            "loss": float(np.isinf(values).mean()),
+            "median": float(np.median(finite)),
+            "tail_freq": float((finite > 3.0 * np.median(finite)).mean()),
+        }
+
+    def test_delivery_probability_median_and_tail_agree(self, name):
+        seed = SLOW_WAN_SEED if name == "wan-slow" else 0
+        if name == "wan-slow":
+            assert PROFILES[name][0](seed=seed).slow_run
+        round_length = PROFILES[name][1]
+        scalar = self.stats(scalar_trace(name, seed, self.ROUNDS), round_length)
+        batch = self.stats(batch_trace(name, seed, self.ROUNDS), round_length)
+        assert batch["delivery_prob"] == pytest.approx(
+            scalar["delivery_prob"], abs=0.02
+        )
+        assert batch["loss"] == pytest.approx(scalar["loss"], abs=0.01)
+        assert batch["median"] == pytest.approx(scalar["median"], rel=0.05)
+        assert batch["tail_freq"] == pytest.approx(scalar["tail_freq"], abs=0.02)
+
+    def test_per_link_agreement_on_a_plain_and_a_slow_link(self, name):
+        # Link into the slow node (LAN node 6 / WAN Poland node 5) and a
+        # plain link, each compared marginally.
+        seed = SLOW_WAN_SEED if name == "wan-slow" else 0
+        factory, round_length = PROFILES[name]
+        slow_node = 6 if name == "lan" else 5
+        for dst in (1, slow_node):
+            src = 0 if dst != 0 else 1
+            times = np.arange(self.ROUNDS) * round_length
+            model = factory(seed=seed)
+            scalar = np.array(
+                [
+                    np.inf if value is None else value
+                    for value in (
+                        model.sample_latency(src, dst, t) for t in times
+                    )
+                ]
+            )
+            batch = factory(seed=seed).sample_link_batch(src, dst, times)
+            assert np.isfinite(batch).mean() == pytest.approx(
+                np.isfinite(scalar).mean(), abs=0.02
+            )
+            assert np.median(batch[np.isfinite(batch)]) == pytest.approx(
+                np.median(scalar[np.isfinite(scalar)]), rel=0.1
+            )
+            assert (batch < round_length).mean() == pytest.approx(
+                (scalar < round_length).mean(), abs=0.03
+            )
+
+
+class TestBatchTracePurity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rounds=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_across_calls_and_instances(self, seed, rounds):
+        model = PlanetLabProfile(seed=seed)
+        first = model.sample_trace_batch(rounds, 0.2)
+        second = model.sample_trace_batch(rounds, 0.2)
+        fresh = PlanetLabProfile(seed=seed).sample_trace_batch(rounds, 0.2)
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, fresh)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_never_touches_the_shared_rng(self, seed):
+        # Interleaved scalar sampling must not perturb the batch trace
+        # (and vice versa): they draw from disjoint streams.
+        model = PlanetLabProfile(seed=seed)
+        model.sample_latency(0, 1, 0.0)
+        perturbed = model.sample_trace_batch(5, 0.2)
+        clean = PlanetLabProfile(seed=seed).sample_trace_batch(5, 0.2)
+        assert np.array_equal(perturbed, clean)
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_bit_identical_across_worker_processes(self, name):
+        seed = SLOW_WAN_SEED if name == "wan-slow" else 0
+        local = batch_trace(name, seed, 60)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote_a, remote_b = pool.map(
+                _worker_trace, [(name, seed, 60), (name, seed, 60)]
+            )
+        assert np.array_equal(local, remote_a)
+        assert np.array_equal(local, remote_b)
+
+    def test_measurement_entry_point_uses_the_batch_path(self):
+        model = PlanetLabProfile(seed=SLOW_WAN_SEED)
+        via_entry = sample_latency_trace(model, 40, 0.2)
+        direct = PlanetLabProfile(seed=SLOW_WAN_SEED).sample_trace_batch(40, 0.2)
+        assert np.array_equal(via_entry, direct)

@@ -34,6 +34,13 @@ class TestTraceKey:
             "wan", 8, 100, 0.1 + 1e-12, 7
         )
 
+    def test_sampler_version_is_part_of_the_key(self, monkeypatch):
+        # Bumping TRACE_SAMPLER_VERSION must orphan entries produced by
+        # the older sampler (e.g. the pre-batch per-round draw order).
+        base = trace_key("wan", 8, 100, 0.2, 7)
+        monkeypatch.setattr(measurement, "TRACE_SAMPLER_VERSION", "future99")
+        assert trace_key("wan", 8, 100, 0.2, 7) != base
+
 
 class TestTraceCache:
     def test_store_load_roundtrip_is_bit_identical(self, tmp_path):

@@ -67,3 +67,52 @@ class TestMatrixSampler:
         model = BernoulliLinkModel(4, p=0.5, timeout=0.05)
         with pytest.raises(ValueError):
             MatrixSampler(model, timeout=0.0)
+
+
+class TestMatrixSamplerBlockAccounting:
+    """Round accounting when traces are drawn in consecutive blocks."""
+
+    @staticmethod
+    def sampler(seed=9):
+        model = BernoulliLinkModel(5, p=0.6, timeout=0.05, seed=seed)
+        return MatrixSampler(model, timeout=0.05)
+
+    def test_fresh_sampler_trace_matches_batch_path(self):
+        # A whole-trace request from a fresh sampler is the measurement
+        # path: it must be bit-identical to sample_trace_batch.
+        trace = self.sampler().sample_latency_trace(6)
+        model = BernoulliLinkModel(5, p=0.6, timeout=0.05, seed=9)
+        direct = model.sample_trace_batch(6, 0.05)
+        assert len(trace) == 6
+        assert np.array_equal(np.array(trace), direct)
+
+    def test_matrices_and_latencies_agree(self):
+        a, b = self.sampler(), self.sampler()
+        matrices = a.sample_trace(4)
+        latencies = b.sample_latency_trace(4)
+        for matrix, row in zip(matrices, latencies):
+            expected = row < 0.05
+            np.fill_diagonal(expected, True)
+            assert np.array_equal(matrix, expected)
+
+    def test_identical_block_sequences_are_bit_identical(self):
+        a, b = self.sampler(), self.sampler()
+        first = [*a.sample_latency_trace(3), *a.sample_latency_trace(2)]
+        second = [*b.sample_latency_trace(3), *b.sample_latency_trace(2)]
+        for left, right in zip(first, second):
+            assert np.array_equal(left, right)
+
+    def test_blocks_consume_distinct_substreams(self):
+        # Consecutive blocks must not replay round 0's randomness: the
+        # block start salts each link's substream name.
+        sampler = self.sampler()
+        first = sampler.sample_latency_trace(2)
+        second = sampler.sample_latency_trace(2)
+        assert not np.array_equal(first[0], second[0])
+
+    def test_next_matrix_advances_round_counter_past_traces(self):
+        a, b = self.sampler(), self.sampler()
+        a.sample_latency_trace(3)
+        after_trace = a.next_matrix()
+        b.sample_latency_trace(3)
+        assert np.array_equal(after_trace, b.next_matrix())

@@ -5,6 +5,7 @@ import pytest
 
 from repro.net.latency import (
     ConstantLatency,
+    LatencyDistribution,
     LogNormalLatency,
     LossyLatency,
     ScaledLatency,
@@ -99,6 +100,99 @@ class TestScaledLatency:
     def test_loss_passes_through(self):
         dist = ScaledLatency(LossyLatency(ConstantLatency(0.1), 1.0), factor=2.0)
         assert dist.sample(rng(), 0.0) is None
+
+
+class TestSampleBatch:
+    """The vectorized batch path of every distribution."""
+
+    def test_constant_batch_fills_the_value(self):
+        out = ConstantLatency(0.05).sample_batch(rng(), np.zeros(7))
+        assert np.array_equal(out, np.full(7, 0.05))
+
+    def test_lognormal_batch_median(self):
+        out = LogNormalLatency(median=0.1, sigma=0.2).sample_batch(
+            rng(), np.zeros(4000)
+        )
+        assert np.median(out) == pytest.approx(0.1, rel=0.05)
+        assert (out > 0).all()
+
+    def test_tailed_batch_inflation_fraction(self):
+        dist = TailedLatency(ConstantLatency(0.1), tail_prob=0.5, shape=1.5)
+        out = dist.sample_batch(rng(), np.zeros(4000))
+        inflated = (out > 0.1 + 1e-12).mean()
+        assert 0.45 < inflated < 0.55
+        assert (out >= 0.1).all()
+
+    def test_lossy_batch_encodes_loss_as_inf(self):
+        dist = LossyLatency(ConstantLatency(0.1), loss_prob=0.3)
+        out = dist.sample_batch(rng(), np.zeros(4000))
+        assert 0.25 < np.isinf(out).mean() < 0.35
+        assert (out[np.isfinite(out)] == pytest.approx(0.1))
+
+    def test_total_loss_batch_is_all_inf(self):
+        dist = LossyLatency(ConstantLatency(0.1), loss_prob=1.0)
+        assert np.isinf(dist.sample_batch(rng(), np.zeros(10))).all()
+
+    def test_scaled_batch(self):
+        dist = ScaledLatency(ConstantLatency(0.1), factor=3.0)
+        out = dist.sample_batch(rng(), np.zeros(5))
+        assert out == pytest.approx(np.full(5, 0.3))
+
+    def test_windowed_batch_matches_scalar_window_decision(self):
+        dist = WindowedSlowdown(
+            ConstantLatency(0.1), factor=5.0, period=10.0, duty=0.3, phase=5.0
+        )
+        times = np.linspace(0.0, 40.0, 101)
+        out = dist.sample_batch(rng(), times)
+        expected = np.where(
+            [dist.in_slow_window(t) for t in times], 0.5, 0.1
+        )
+        assert out == pytest.approx(expected)
+        assert 0.2 < (out > 0.2).mean() < 0.4  # duty fraction is slow
+
+    def test_base_class_fallback_loops_scalar_sample(self):
+        # A third-party distribution that only implements sample() must
+        # still work on the batch path, with None mapped to +inf.
+        class EveryOtherLost(LatencyDistribution):
+            def __init__(self):
+                self.calls = 0
+
+            def sample(self, rng, now):
+                self.calls += 1
+                return None if self.calls % 2 == 0 else now
+
+        dist = EveryOtherLost()
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        out = dist.sample_batch(rng(), times)
+        assert out[0] == 1.0 and out[2] == 3.0
+        assert np.isinf(out[1]) and np.isinf(out[3])
+
+    def test_batch_and_scalar_paths_draw_identical_distributions(self):
+        # Not bit-identical (different draw order), but statistically the
+        # same: compare empirical quantiles of the composed stack.
+        dist = LossyLatency(
+            TailedLatency(
+                LogNormalLatency(median=0.1, sigma=0.2), tail_prob=0.1, shape=1.3
+            ),
+            loss_prob=0.05,
+        )
+        generator = rng()
+        scalar = np.array(
+            [
+                np.inf if (s := dist.sample(generator, 0.0)) is None else s
+                for _ in range(6000)
+            ]
+        )
+        batch = dist.sample_batch(np.random.default_rng(8), np.zeros(6000))
+        assert np.isinf(batch).mean() == pytest.approx(
+            np.isinf(scalar).mean(), abs=0.02
+        )
+        for quantile in (0.25, 0.5, 0.75):
+            assert np.quantile(
+                batch[np.isfinite(batch)], quantile
+            ) == pytest.approx(
+                np.quantile(scalar[np.isfinite(scalar)], quantile), rel=0.05
+            )
 
 
 class TestWindowedSlowdown:

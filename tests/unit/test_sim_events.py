@@ -189,6 +189,34 @@ class TestSimulator:
         sim.run()
         assert fired == []
 
+    def test_cancel_after_drain_is_a_true_noop(self):
+        # drain() replaces the queue; events discarded with it must be
+        # detached, or a later cancel() decrements the *dead* queue's live
+        # count through the stale back-reference (and pins that queue in
+        # memory for as long as the event handle lives).
+        sim = Simulator()
+        drained = sim.schedule(1.0, lambda: None)
+        sim.drain()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        drained.cancel()
+        drained.cancel()
+        assert drained._queue is None
+        assert len(sim._queue) == 1
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_drain_then_cancel_does_not_affect_new_queue_bookkeeping(self):
+        sim = Simulator()
+        old = [sim.schedule(float(t + 1), lambda: None) for t in range(3)]
+        sim.drain()
+        replacement = sim.schedule(5.0, lambda: None)
+        for event in old:
+            event.cancel()
+        assert len(sim._queue) == 1
+        replacement.cancel()
+        assert len(sim._queue) == 0
+
     def test_cascading_events_keep_relative_order(self):
         sim = Simulator()
         log = []

@@ -2,8 +2,10 @@
 
 from typing import Optional
 
+import numpy as np
 import pytest
 
+from repro.net.iid import BernoulliLinkModel
 from repro.sim.events import Simulator
 from repro.sim.transport import Transport
 
@@ -106,3 +108,108 @@ class TestTransport:
         assert len(transport.deliveries) == 2
         assert transport.deliveries[0].delivered_at == 0.5
         assert transport.deliveries[1].lost
+
+    def test_trace_keeps_metadata_but_not_payloads_by_default(self):
+        # Long robustness runs trace millions of messages; retaining the
+        # payload object of every one would grow memory without bound.
+        sim = Simulator()
+        transport = Transport(sim, FixedLatency(0.5), trace=True)
+        transport.register(1, lambda s, p: None)
+        transport.send(0, 1, ["a", "large", "payload"])
+        sim.run()
+        record = transport.deliveries[0]
+        assert record.payload is None
+        assert (record.src, record.dst, record.latency) == (0, 1, 0.5)
+
+    def test_trace_payloads_opt_in_retains_objects(self):
+        sim = Simulator()
+        transport = Transport(
+            sim, FixedLatency(0.5), trace=True, trace_payloads=True
+        )
+        transport.register(1, lambda s, p: None)
+        transport.send(0, 1, "keep-me")
+        sim.run()
+        assert transport.deliveries[0].payload == "keep-me"
+
+
+class TestBatchStreams:
+    """Pre-sampled per-link latency streams (batch-capable link models)."""
+
+    @staticmethod
+    def model(seed=11):
+        return BernoulliLinkModel(4, p=0.7, timeout=0.1, seed=seed)
+
+    def test_stream_latencies_come_from_the_link_substream(self):
+        sim = Simulator()
+        transport = Transport(sim, self.model(), trace=True)
+        transport.register(1, lambda s, p: None)
+        for _ in range(20):
+            transport.send(0, 1, "m")
+        sim.run()
+        # The transport refills STREAM_CHUNK latencies at a time, and a
+        # batch of k consumes the generator differently than a batch of
+        # STREAM_CHUNK — so the reference must draw the same chunk shape.
+        from repro.sim.transport import STREAM_CHUNK
+
+        reference = self.model().sample_link_batch(
+            0, 1, np.zeros(STREAM_CHUNK), self.model().link_stream(0, 1)
+        )[:20]
+        observed = [d.latency for d in transport.deliveries]
+        expected = [None if np.isinf(v) else float(v) for v in reference]
+        assert observed == expected  # bit-identical: same substream
+
+    def test_link_sequence_independent_of_interleaving(self):
+        # The whole point of per-link substreams: what 2->3 traffic does
+        # must not perturb the 0->1 latency sequence.
+        def run(interleave):
+            sim = Simulator()
+            transport = Transport(sim, self.model(), trace=True)
+            for node in range(4):
+                transport.register(node, lambda s, p: None)
+            for _ in range(10):
+                transport.send(0, 1, "m")
+                if interleave:
+                    transport.send(2, 3, "noise")
+            sim.run()
+            return [
+                d.latency for d in transport.deliveries if (d.src, d.dst) == (0, 1)
+            ]
+
+        assert run(interleave=False) == run(interleave=True)
+
+    def test_wrapper_install_falls_back_to_scalar_sampling(self):
+        # Installing a fault wrapper through the link_model setter must
+        # flip the transport onto the scalar path: wrappers are not
+        # batch-capable and their drops must be consulted per send.
+        sim = Simulator()
+        transport = Transport(sim, self.model())
+        assert transport._streams_usable
+        wrapper = FixedLatency(0.25)
+        transport.link_model = wrapper
+        assert not transport._streams_usable
+        transport.register(1, lambda s, p: None)
+        transport.send(0, 1, "m")
+        sim.run()
+        assert wrapper.asked == [(0, 1, 0.0)]
+
+    def test_batch_streams_opt_out_uses_scalar_path(self):
+        sim = Simulator()
+        model = self.model()
+        asked = []
+        original = model.sample_latency
+        model.sample_latency = lambda src, dst, now: (
+            asked.append((src, dst)) or original(src, dst, now)
+        )
+        transport = Transport(sim, model, batch_streams=False)
+        transport.register(1, lambda s, p: None)
+        transport.send(0, 1, "m")
+        sim.run()
+        assert asked == [(0, 1)]
+
+    def test_time_varying_models_never_stream(self):
+        # Slow windows make latency depend on the send time, which a
+        # pre-sampled stream cannot know; such models must stay scalar.
+        from repro.net.lan import LanProfile
+
+        assert not Transport._model_streamable(LanProfile(seed=0))
+        assert Transport._model_streamable(self.model())
