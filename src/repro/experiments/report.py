@@ -55,9 +55,15 @@ def render_comparison(
     title: str,
     rows: Sequence[tuple[str, float, float]],
 ) -> str:
-    """Render (label, paper value, measured value) comparison rows."""
+    """Render (label, paper value, measured value) comparison rows.
+
+    Values route through :func:`_format`, so a NaN (e.g. a censored
+    measurement) renders as ``-`` rather than the literal ``nan``.
+    """
     lines = [title, "-" * len(title)]
     lines.append(f"{'quantity':<44}{'paper':>12}{'this repo':>12}")
     for label, paper_value, measured in rows:
-        lines.append(f"{label:<44}{paper_value:>12.4g}{measured:>12.4g}")
+        lines.append(
+            f"{label:<44}{_format(paper_value):>12}{_format(measured):>12}"
+        )
     return "\n".join(lines)

@@ -16,6 +16,12 @@ new figure, or a different downstream analysis — re-simulates nothing.
 ``--no-cache`` disables this; ``--jobs N`` fans the sweeps out over N
 worker processes (0 = one per CPU).
 
+``--check`` appends the conformance phase (see :mod:`repro.check`):
+differential validation of the lockstep and event-driven stacks on three
+network profiles with and without a fault plan, the
+Monte-Carlo-versus-closed-form cross-check, and the mutation self-test,
+all summarized in ``conformance.txt``.
+
 ``--metrics DIR`` profiles the pipeline: per-phase and per-cell timing,
 cache hit/miss rates and worker utilization land in ``DIR`` as a run
 manifest (``manifest.json``), a JSONL event timeline
@@ -38,6 +44,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.analysis import expected_decision_rounds, find_crossover
+from repro.check import conformance_report, run_conformance
 from repro.experiments import cache as trace_cache
 from repro.experiments.ascii_chart import chart_figure
 from repro.experiments.config import PAPER, PAPER_LAN, QUICK, QUICK_LAN
@@ -189,6 +196,14 @@ def main(argv: list[str] | None = None) -> int:
         "latency under crash/loss/partition/slow-node/churn plans)",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the conformance phase: differential validation of "
+        "the lockstep and event-driven stacks (with runtime invariant "
+        "checkers attached), the Monte-Carlo-vs-closed-form cross-check "
+        "and the mutation self-test; writes conformance.txt",
+    )
+    parser.add_argument(
         "--metrics",
         type=Path,
         default=None,
@@ -226,7 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  wrote {args.out / name}.txt", flush=True)
 
     start = time.time()
-    phases = "5" if args.faults else "4"
+    phases = str(4 + int(args.faults) + int(args.check))
     print(f"[1/{phases}] analysis figures (Section 4.2)", flush=True)
     with profile.phase("analysis"):
         emit("fig1a", figure_1a(), y_log=True)
@@ -285,6 +300,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         print(f"  wrote {args.out / 'faults.txt'}", flush=True)
 
+    if args.check:
+        index = 6 if args.faults else 5
+        print(
+            f"[{index}/{phases}] conformance check (differential validation)",
+            flush=True,
+        )
+        with profile.phase("check"):
+            conformance = run_conformance(
+                seed=wan_config.seed,
+                mc_samples=2000 if args.scale == "quick" else 4000,
+                metrics=metrics,
+            )
+            (args.out / "conformance.txt").write_text(
+                conformance_report(conformance)
+            )
+        print(
+            f"  wrote {args.out / 'conformance.txt'} "
+            f"({'PASS' if conformance.ok else 'FAIL'})",
+            flush=True,
+        )
+
     if cache is not None:
         print(
             f"trace cache: {cache.hits} hits, {cache.misses} misses, "
@@ -325,6 +361,7 @@ def _write_metrics_dir(
         jobs=args.jobs,
         charts=args.charts,
         faults=args.faults,
+        check=args.check,
         out=args.out,
         cache=not args.no_cache,
         wan_config=wan_config,

@@ -27,9 +27,32 @@ from repro.experiments.measurement import (
 from repro.models.registry import MODELS
 from repro.net.base import LatencyModel
 from repro.net.ping import measure_latency_table, select_leader
+from repro.sim.rng import derive_seed
 
 #: Models considered by the selector, in presentation order.
 CANDIDATES = ("ES", "AFM", "LM", "WLM")
+
+
+def _ping_seed(seed: int) -> int:
+    """Seed of the ping-measurement profile."""
+    return derive_seed(seed, "selection:ping")
+
+
+def _cell_seed(seed: int, t_index: int, run: int) -> int:
+    """Seed of one (timeout, run) sweep cell's network profile.
+
+    Derived, not additive: the old ``seed + 101 * t_index + run`` scheme
+    collided across cells whenever ``runs > 101`` (cell ``(t, 101)`` =
+    cell ``(t+1, 0)``) and collided with the ping table's ``seed + 999``
+    at ``(t_index=9, run=90)`` — reusing the measurement randomness
+    inside the sweep it calibrates.
+    """
+    return derive_seed(seed, f"selection:cell:{t_index}:{run}")
+
+
+def _decision_seed(seed: int, t_index: int, run: int) -> int:
+    """Seed of one cell's decision-sampling RNG (start-point draws)."""
+    return derive_seed(seed, f"selection:decision:{t_index}:{run}")
 
 
 def _format_ms(seconds: float) -> str:
@@ -118,7 +141,7 @@ def choose_timing_model(
             best decision time is within this fraction of the overall
             best (the paper's "80 ms more ... clearly well worth using").
     """
-    table = measure_latency_table(network(seed=seed + 999), pings=20)
+    table = measure_latency_table(network(seed=_ping_seed(seed)), pings=20)
     leader = select_leader(table)
     recommendation = Recommendation(leader=leader)
 
@@ -128,7 +151,7 @@ def choose_timing_model(
         per_model_rounds: dict[str, list[float]] = {m: [] for m in CANDIDATES}
         per_model_pm: dict[str, list[float]] = {m: [] for m in CANDIDATES}
         for run in range(runs):
-            profile = network(seed=seed + 101 * t_index + run)
+            profile = network(seed=_cell_seed(seed, t_index, run))
             trace = sample_latency_trace(profile, rounds_per_run, timeout)
             matrices = timely_matrices(trace, timeout)
             for model in CANDIDATES:
@@ -142,7 +165,9 @@ def choose_timing_model(
                     round_length=timeout,
                     start_points=start_points,
                     leader=leader_arg,
-                    rng=np.random.default_rng((seed, t_index, run)),
+                    rng=np.random.default_rng(
+                        _decision_seed(seed, t_index, run)
+                    ),
                 )
                 if stats.samples:
                     per_model_rounds[model].append(stats.mean_rounds)

@@ -15,7 +15,7 @@ global-decision round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -83,7 +83,14 @@ class RunResult:
 
 
 class LockstepRunner:
-    """Drives ``n`` GIRAF processes through synchronized rounds."""
+    """Drives ``n`` GIRAF processes through synchronized rounds.
+
+    ``observers`` (e.g. a :class:`repro.check.invariants.InvariantSuite`)
+    may implement any subset of ``on_proposal(pid, value)``,
+    ``on_oracle(pid, round, output)`` and
+    ``on_decision(pid, round, value)``; decisions are re-reported every
+    round while latched so integrity checkers can see value changes.
+    """
 
     def __init__(
         self,
@@ -92,6 +99,7 @@ class LockstepRunner:
         oracle: Oracle,
         schedule: Schedule,
         crash_plan: Optional[CrashPlan] = None,
+        observers: Sequence[Any] = (),
     ) -> None:
         if schedule.n != n:
             raise ValueError(f"schedule is for n={schedule.n}, runner for n={n}")
@@ -100,9 +108,16 @@ class LockstepRunner:
         self.schedule = schedule
         self.crash_plan = crash_plan or CrashPlan()
         self.crash_plan.validate(n)
+        self.observers = list(observers)
         self.processes = [GirafProcess(pid, algorithm_factory(pid)) for pid in range(n)]
         # Late messages queued as (delivery_round, original_round, src, dst, payload).
         self._late_queue: dict[int, list[tuple[int, int, int, Any]]] = {}
+
+    def _notify(self, hook: str, *args: Any) -> None:
+        for observer in self.observers:
+            method = getattr(observer, hook, None)
+            if method is not None:
+                method(*args)
 
     def _live(self, round_number: int) -> list[GirafProcess]:
         return [
@@ -139,14 +154,18 @@ class LockstepRunner:
         # Round 0: the first end-of-round initializes everyone.
         for proc in self.processes:
             if not self.crash_plan.crashed_at(proc.pid, 1):
-                proc.end_of_round(self.oracle.query(proc.pid, 0))
+                output = self.oracle.query(proc.pid, 0)
+                self._notify("on_oracle", proc.pid, 0, output)
+                proc.end_of_round(output)
                 decision = proc.decision()
                 if decision is not None:
+                    self._notify("on_decision", proc.pid, 0, decision)
                     result.decisions[proc.pid] = decision
                     result.decision_rounds[proc.pid] = 0
         for proc in self.processes:
             proposal = getattr(proc.algorithm, "proposal", None)
             if proposal is not None:
+                self._notify("on_proposal", proc.pid, proposal)
                 result.proposals[proc.pid] = proposal
 
         decided_deadline: Optional[int] = None
@@ -194,10 +213,13 @@ class LockstepRunner:
 
             # End-of-round computations.
             for proc in self._alive_for_compute(k):
-                proc.end_of_round(self.oracle.query(proc.pid, k))
-                if proc.pid not in result.decisions:
-                    decision = proc.decision()
-                    if decision is not None:
+                output = self.oracle.query(proc.pid, k)
+                self._notify("on_oracle", proc.pid, k, output)
+                proc.end_of_round(output)
+                decision = proc.decision()
+                if decision is not None:
+                    self._notify("on_decision", proc.pid, k, decision)
+                    if proc.pid not in result.decisions:
                         result.decisions[proc.pid] = decision
                         result.decision_rounds[proc.pid] = k
 

@@ -9,12 +9,14 @@ preserved (model predicates are monotone in the matrix).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional
 
 import numpy as np
 
 from repro.models.matrix import majority, validate_matrix
 from repro.models.registry import TimingModel, get_model
+from repro.sim.rng import derive_seed
 
 
 def _repair_row_to_majority(
@@ -64,8 +66,15 @@ def repair_to_satisfy(
         matrix: a sampled round matrix.
         model: registry key or :class:`TimingModel`.
         leader: required for leader-based models.
-        rng: source of randomness for choosing which links to fix; defaults
-            to a fresh deterministic generator (seed 0).
+        rng: source of randomness for choosing which links to fix.  When
+            omitted, the default seed is derived from the call's own
+            content (the matrix plus the model/leader/correct arguments)
+            rather than a fixed constant: a shared ``default_rng(0)``
+            handed every repaired round of a stability sweep the *same*
+            link choices, correlating the forced links across all
+            post-GSR rounds.  Content-derived seeding stays reproducible
+            — the same call repairs the same way — while distinct rounds
+            decorrelate.
         correct: the correct (never-crashing) processes.  The models'
             properties count links *from correct processes*, so in a run
             with crashes the forced links must connect correct processes —
@@ -74,8 +83,15 @@ def repair_to_satisfy(
     if isinstance(model, str):
         model = get_model(model)
     validate_matrix(matrix)
+    if correct is not None:
+        correct = sorted(set(correct))
     if rng is None:
-        rng = np.random.default_rng(0)
+        digest = hashlib.sha256(
+            np.ascontiguousarray(matrix).tobytes()
+        ).hexdigest()
+        live_key = "all" if correct is None else ",".join(map(str, correct))
+        name = f"repair:{digest}:{model.name}:{leader}:{live_key}"
+        rng = np.random.default_rng(derive_seed(0, name))
 
     repaired = matrix.copy()
     n = repaired.shape[0]
@@ -83,7 +99,7 @@ def repair_to_satisfy(
     if correct is None:
         live = np.arange(n)
     else:
-        live = np.asarray(sorted(set(correct)), dtype=int)
+        live = np.asarray(correct, dtype=int)
         if live.size < maj:
             raise ValueError(
                 f"cannot satisfy a majority of {maj} with only {live.size} "

@@ -65,6 +65,7 @@ class SyncedNode:
         max_rounds: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         recorder: Optional[RunRecorder] = None,
+        observers: Sequence[Any] = (),
     ) -> None:
         self.process = process
         self.oracle = oracle
@@ -83,6 +84,7 @@ class SyncedNode:
         self._timeout_fires = self._metrics.counter("sync.timeout_fires")
         self._late_counter = self._metrics.counter("sync.late_messages")
         self._timer: Optional[Event] = None
+        self._observers = list(observers)
         self.running = False
         self.crashed = False
         self.crashed_permanently = False
@@ -92,16 +94,36 @@ class SyncedNode:
         self.round_ends: dict[int, float] = {}
         self.late_messages = 0
         self.jumps = 0
+        self.decision_round: Optional[int] = None
 
         transport.register(process.pid, self._on_receive)
         simulator.schedule(start_time, self._boot, tag=f"boot:{process.pid}")
+
+    def _notify(self, hook: str, *args: Any) -> None:
+        for observer in self._observers:
+            method = getattr(observer, hook, None)
+            if method is not None:
+                method(*args)
+
+    def _report_decision(self, round_number: int) -> None:
+        decision = self.process.decision()
+        if decision is None:
+            return
+        if self.decision_round is None:
+            self.decision_round = round_number
+        self._notify(
+            "on_decision", self.process.pid, round_number, decision
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
     def _boot(self) -> None:
         self.running = True
-        self.process.end_of_round(self.oracle.query(self.process.pid, 0))
+        output = self.oracle.query(self.process.pid, 0)
+        self._notify("on_oracle", self.process.pid, 0, output)
+        self.process.end_of_round(output)
+        self._report_decision(0)
         self._begin_round(self.timeout)
 
     def _begin_round(self, local_duration: float) -> None:
@@ -132,9 +154,10 @@ class SyncedNode:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        self.process.end_of_round(
-            self.oracle.query(self.process.pid, k), next_round=next_round
-        )
+        output = self.oracle.query(self.process.pid, k)
+        self._notify("on_oracle", self.process.pid, k, output)
+        self.process.end_of_round(output, next_round=next_round)
+        self._report_decision(k)
 
     def _on_timer(self) -> None:
         if not self.running or self.crashed:
@@ -237,6 +260,12 @@ class SyncRunResult:
         jumps: per node, number of fast-forward joins.
         late_messages: per node, messages that arrived after their round.
         decisions: ``pid -> value`` for deciding algorithms.
+        decision_rounds: ``pid -> round`` at which each decision was
+            first observed (the round whose end-of-round computed it).
+        proposals: ``pid -> proposed value`` for algorithms that expose
+            a ``proposal`` attribute (for validity checking).
+        correct: pids that never crash permanently (everyone when the
+            run has no fault plan).
         sync_error: per round, the spread (max - min) of the nodes'
             round-start times, in seconds — the synchronization quality.
             Aligned with ``matrices`` (index ``k - 1`` is round ``k``);
@@ -250,6 +279,9 @@ class SyncRunResult:
     jumps: list[int] = field(default_factory=list)
     late_messages: list[int] = field(default_factory=list)
     decisions: dict[int, Any] = field(default_factory=dict)
+    decision_rounds: dict[int, int] = field(default_factory=dict)
+    proposals: dict[int, Any] = field(default_factory=dict)
+    correct: frozenset[int] = frozenset()
     sync_error: list[float] = field(default_factory=list)
 
 
@@ -270,10 +302,12 @@ class SyncRun:
         fault_plan: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
         recorder: Optional[RunRecorder] = None,
+        observers: Sequence[Any] = (),
     ) -> None:
         self.n = n
         self.max_rounds = max_rounds
         self.fault_plan = fault_plan
+        self.observers = list(observers)
         self.metrics = registry_or_null(metrics)
         self.recorder = recorder_or_null(recorder)
         self.simulator = Simulator()
@@ -306,9 +340,17 @@ class SyncRun:
                 max_rounds=max_rounds,
                 metrics=metrics,
                 recorder=recorder,
+                observers=self.observers,
             )
             for pid in range(n)
         ]
+        for node in self.nodes:
+            proposal = getattr(node.process.algorithm, "proposal", None)
+            if proposal is not None:
+                for observer in self.observers:
+                    method = getattr(observer, "on_proposal", None)
+                    if method is not None:
+                        method(node.process.pid, proposal)
         if fault_plan is not None:
             self._schedule_node_faults(fault_plan, timeout)
 
@@ -388,7 +430,14 @@ class SyncRun:
         return self._collect()
 
     def _collect(self) -> SyncRunResult:
-        result = SyncRunResult(n=self.n)
+        result = SyncRunResult(
+            n=self.n,
+            correct=(
+                self.fault_plan.correct()
+                if self.fault_plan is not None
+                else frozenset(range(self.n))
+            ),
+        )
         # Permanently crashed nodes stop recording rounds at their crash;
         # they must not truncate the surviving nodes' observations.
         participants = [
@@ -434,7 +483,14 @@ class SyncRun:
             )
             result.jumps.append(node.jumps)
             result.late_messages.append(node.late_messages)
+            proposal = getattr(node.process.algorithm, "proposal", None)
+            if proposal is not None:
+                result.proposals[node.process.pid] = proposal
             decision = node.process.decision()
             if decision is not None:
                 result.decisions[node.process.pid] = decision
+                if node.decision_round is not None:
+                    result.decision_rounds[node.process.pid] = (
+                        node.decision_round
+                    )
         return result

@@ -69,6 +69,23 @@ class TestRenderComparison:
         assert "349" in text
         assert "348.6" in text
 
+    def test_nan_cells_render_as_dash(self):
+        # Regression: values used to go through a raw ``:12.4g`` format,
+        # so a censored measurement printed the literal ``nan``.
+        text = render_comparison(
+            "with censored cells",
+            [("censored quantity", 10.0, float("nan"))],
+        )
+        assert "nan" not in text
+        assert "-" in text.splitlines()[-1]
+
+    def test_inf_cells_render_as_inf(self):
+        text = render_comparison(
+            "with unbounded cells",
+            [("diverging quantity", float("inf"), 3.0)],
+        )
+        assert "inf" in text
+
 
 class TestSweepConfig:
     def test_paper_scale_matches_section_5(self):

@@ -5,7 +5,10 @@ import math
 from repro.experiments.selection import (
     ModelReport,
     Recommendation,
+    _cell_seed,
+    _decision_seed,
     _format_ms,
+    _ping_seed,
 )
 
 
@@ -54,3 +57,53 @@ class TestRecommendationSummary:
     def test_undecided_model_rendered_as_dash(self):
         text = self.make().summary()
         assert "—" in text
+
+
+class TestSweepSeeding:
+    """Regression for the selector's additive seeding.
+
+    The old scheme (``seed + 999`` for the ping table, ``seed + 101 *
+    t_index + run`` per sweep cell) collided: the ping profile equalled
+    cell ``(t_index=9, run=90)``, and with ``runs > 101`` cell ``(t,
+    101)`` equalled cell ``(t + 1, 0)`` — distinct cells silently reusing
+    one network realization.  Derived seeds must keep every purpose
+    distinct.
+    """
+
+    def test_old_scheme_really_collided(self):
+        # Documents the bug being regression-tested, not current code.
+        seed = 5
+        assert seed + 999 == seed + 101 * 9 + 90
+        assert seed + 101 * 0 + 101 == seed + 101 * 1 + 0
+
+    def test_ping_seed_never_collides_with_cells(self):
+        seed = 5
+        cells = {
+            _cell_seed(seed, t, run)
+            for t in range(12)
+            for run in range(120)
+        }
+        assert _ping_seed(seed) not in cells
+
+    def test_cells_are_pairwise_distinct_beyond_101_runs(self):
+        seed = 0
+        cells = [
+            _cell_seed(seed, t, run) for t in range(4) for run in range(120)
+        ]
+        assert len(cells) == len(set(cells))
+
+    def test_decision_seeds_are_their_own_stream(self):
+        seed = 0
+        decisions = {
+            _decision_seed(seed, t, run)
+            for t in range(4)
+            for run in range(120)
+        }
+        cells = {
+            _cell_seed(seed, t, run) for t in range(4) for run in range(120)
+        }
+        assert decisions.isdisjoint(cells)
+
+    def test_seeds_are_deterministic(self):
+        assert _cell_seed(3, 1, 2) == _cell_seed(3, 1, 2)
+        assert _ping_seed(3) == _ping_seed(3)
