@@ -33,6 +33,13 @@ def test_conformance_report(conformance, save_result):
         "planetlab-wan", "lan", "uniform-wan",
     }
     assert {r.fault for r in report.results} == {"none", "canonical"}
+    # Plus the scalar-vs-batched axis on each profile's static variant.
+    assert len(report.batch_axis) == 3
+    assert {r.profile for r in report.batch_axis} == {
+        "planetlab-wan [scalar-vs-batched]",
+        "lan [scalar-vs-batched]",
+        "uniform-wan [scalar-vs-batched]",
+    }
 
 
 def test_stacks_agree_on_every_scenario(conformance):
@@ -46,6 +53,16 @@ def test_stacks_agree_on_every_scenario(conformance):
                 f"tol={row.tolerance}"
                 for row in bad
             )
+        )
+
+
+def test_batched_path_is_bit_identical(conformance):
+    report, _ = conformance
+    for result in report.batch_axis:
+        bad = [row for row in result.rows if not row.ok]
+        assert not bad, (
+            f"{result.profile} diverges: "
+            + "; ".join(row.quantity for row in bad)
         )
 
 

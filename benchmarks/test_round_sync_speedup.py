@@ -1,0 +1,104 @@
+"""Speedup guard for the batched round-sync hot path.
+
+Times the paper's WAN measurement scenario (8 nodes, 1500 heartbeat
+rounds on the static PlanetLab profile) on the scalar event loop versus
+the batched structure-of-arrays path (:mod:`repro.sync.batch`), and
+asserts the batch path is at least 10x faster *while producing the
+bit-identical* :class:`~repro.sync.round_sync.SyncRunResult` — speed
+bought by changing the answer would be no speedup at all.
+
+Measured ratios go to ``benchmarks/results/round_sync_speedup.txt``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.giraf.oracle import NullOracle
+from repro.net import measure_latency_table, planetlab_profile
+from repro.sim import Transport
+from repro.sync import HeartbeatAlgorithm, SyncRun
+from repro.sync.batch import result_divergences
+
+NODES = 8
+ROUNDS = 1500
+TIMEOUT = 0.21
+MIN_SPEEDUP = 10.0
+
+
+def best_of(fn, reps):
+    """Minimum wall time of ``run.run(...)`` over ``reps`` fresh runs.
+
+    A run cannot be replayed (a started run is ineligible for the batch
+    path), so each rep builds its own; only the ``run()`` call — the
+    code the batch path replaces — is inside the timed region.
+    """
+    best = float("inf")
+    run = result = None
+    for _ in range(reps):
+        run = build_run()
+        start = time.perf_counter()
+        result = fn(run)
+        best = min(best, time.perf_counter() - start)
+    return best, run, result
+
+
+def build_run():
+    profile = planetlab_profile(seed=7, slow_run_prob=0.0)
+    table = measure_latency_table(
+        planetlab_profile(seed=8, slow_run_prob=0.0), pings=15
+    )
+    return SyncRun(
+        NODES,
+        lambda pid: HeartbeatAlgorithm(pid, NODES),
+        NullOracle(),
+        lambda sim: Transport(sim, profile),
+        timeout=TIMEOUT,
+        latency_table=table,
+        max_rounds=ROUNDS,
+    )
+
+
+def test_batched_round_sync_speedup(save_result):
+    scalar_s, scalar_run, scalar_result = best_of(
+        lambda run: run.run(mode="scalar"), reps=3
+    )
+    batch_s, batch_run, batch_result = best_of(lambda run: run.run(), reps=10)
+    assert batch_run.executed_mode == "batch", batch_run.fallback_reason
+    speedup = scalar_s / batch_s
+
+    # The fast path must not buy speed with a different answer.
+    assert result_divergences(scalar_result, batch_result) == []
+    for a, b in zip(scalar_run.nodes, batch_run.nodes):
+        assert a.round_starts == b.round_starts
+        assert a.round_ends == b.round_ends
+        assert a.timely_receipts == b.timely_receipts
+    assert (
+        scalar_run.transport.messages_sent
+        == batch_run.transport.messages_sent
+    )
+    assert (
+        scalar_run.transport.messages_lost
+        == batch_run.transport.messages_lost
+    )
+    assert np.isfinite(batch_result.sync_error).any()
+
+    lines = [
+        f"Round sync: scalar event loop vs batched hot path "
+        f"({NODES} nodes x {ROUNDS} rounds, static PlanetLab WAN, "
+        f"timeout {TIMEOUT:g}s)",
+        "",
+        f"{'path':<8} {'wall':>12}",
+        f"{'scalar':<8} {scalar_s * 1e3:>10.1f}ms",
+        f"{'batch':<8} {batch_s * 1e3:>10.2f}ms",
+        "",
+        f"speedup: {speedup:.1f}x  (floor: {MIN_SPEEDUP:.0f}x, "
+        "bit-identical results asserted)",
+    ]
+    save_result("round_sync_speedup", "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched round-sync speedup {speedup:.1f}x below the "
+        f"{MIN_SPEEDUP:.0f}x floor (scalar {scalar_s:.3f}s, "
+        f"batch {batch_s:.3f}s)"
+    )

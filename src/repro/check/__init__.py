@@ -36,6 +36,7 @@ from repro.check.differential import (
     ConformanceReport,
     DiffRow,
     DifferentialResult,
+    batched_differential_run,
     canonical_diff_plan,
     conformance_report,
     differential_run,
@@ -59,6 +60,7 @@ __all__ = [
     "ConformanceReport",
     "DiffRow",
     "DifferentialResult",
+    "batched_differential_run",
     "canonical_diff_plan",
     "conformance_report",
     "differential_run",

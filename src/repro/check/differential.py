@@ -62,6 +62,7 @@ from repro.net.planetlab import planetlab_profile
 from repro.obs.registry import MetricsRegistry
 from repro.sim.rng import derive_seed
 from repro.sim.transport import Transport
+from repro.sync.batch import RESULT_FIELDS, result_divergences
 from repro.sync.heartbeat import HeartbeatAlgorithm
 from repro.sync.round_sync import SyncRun
 
@@ -360,6 +361,159 @@ def differential_run(
 
 
 # ----------------------------------------------------------------------
+# The scalar-vs-batched axis of the event stack.
+# ----------------------------------------------------------------------
+
+
+def batched_differential_run(
+    profile_name: str,
+    static_factory: Callable[..., LatencyModel],
+    timeout: float,
+    rounds: int = 120,
+    seed: int = 0,
+    dynamic_factory: Optional[Callable[..., LatencyModel]] = None,
+) -> DifferentialResult:
+    """Cross-check the two execution paths *within* the event stack.
+
+    Unlike :func:`differential_run` — which compares two different
+    idealizations within tolerances — the batched structure-of-arrays
+    path (:mod:`repro.sync.batch`) claims **bit identity** with the
+    scalar event loop, so every row here carries tolerance ``0.0``: a
+    field either matches exactly (``1.0``) or the axis fails (``0.0``).
+
+    ``static_factory`` must build a time-invariant variant of the
+    profile (the batch path's eligibility condition);
+    ``dynamic_factory``, when given, builds the time-*varying* variant
+    and probes the other half of the contract — that such a run falls
+    back to the scalar loop and reports why.
+    """
+    ping_model = static_factory(
+        seed=derive_seed(seed, f"check:{profile_name}:ping")
+    )
+    n = ping_model.n
+    table = measure_latency_table(ping_model, pings=15)
+    leader = select_leader(table)
+    trace_seed = derive_seed(seed, f"check:{profile_name}:batch-axis")
+
+    def build(factory: Callable[..., LatencyModel]) -> SyncRun:
+        return SyncRun(
+            n,
+            lambda pid: HeartbeatAlgorithm(pid, n),
+            NullOracle(),
+            lambda sim: Transport(sim, factory(seed=trace_seed)),
+            timeout=timeout,
+            latency_table=table,
+            max_rounds=rounds,
+        )
+
+    scalar_run = build(static_factory)
+    scalar = scalar_run.run(mode="scalar")
+    batched_run = build(static_factory)
+    batched = batched_run.run()
+
+    rows = [
+        DiffRow(
+            "batch path engaged",
+            1.0,
+            1.0 if batched_run.executed_mode == "batch" else 0.0,
+            0.0,
+        )
+    ]
+    diverged = set(result_divergences(scalar, batched))
+    for field_name in RESULT_FIELDS:
+        rows.append(
+            DiffRow(
+                f"identical: {field_name}",
+                1.0,
+                0.0 if field_name in diverged else 1.0,
+                0.0,
+            )
+        )
+    node_state_ok = all(
+        a.round_starts == b.round_starts
+        and a.round_ends == b.round_ends
+        and a.timely_receipts == b.timely_receipts
+        for a, b in zip(scalar_run.nodes, batched_run.nodes)
+    )
+    rows.append(
+        DiffRow("identical: node state", 1.0, 1.0 if node_state_ok else 0.0, 0.0)
+    )
+    counters_ok = (
+        scalar_run.transport.messages_sent == batched_run.transport.messages_sent
+        and scalar_run.transport.messages_lost
+        == batched_run.transport.messages_lost
+    )
+    rows.append(
+        DiffRow(
+            "identical: transport counters",
+            1.0,
+            1.0 if counters_ok else 0.0,
+            0.0,
+        )
+    )
+    if dynamic_factory is not None:
+        probe = build(dynamic_factory)
+        probe.run()
+        fell_back = (
+            probe.executed_mode == "scalar"
+            and probe.fallback_reason is not None
+        )
+        rows.append(
+            DiffRow(
+                "dynamic variant falls back",
+                1.0,
+                1.0 if fell_back else 0.0,
+                0.0,
+            )
+        )
+
+    return DifferentialResult(
+        profile=f"{profile_name} [scalar-vs-batched]",
+        fault="none",
+        timeout=timeout,
+        rounds=rounds,
+        seed=seed,
+        leader=leader,
+        rows=rows,
+    )
+
+
+def _batched_scenarios(
+    n: int = 8,
+) -> tuple[
+    tuple[
+        str,
+        Callable[..., LatencyModel],
+        Optional[Callable[..., LatencyModel]],
+        float,
+    ],
+    ...,
+]:
+    """Per conformance profile: the static (batch-eligible) variant and,
+    where the profile has one, the dynamic variant that must fall back."""
+    return (
+        (
+            "planetlab-wan",
+            lambda seed: planetlab_profile(seed=seed, slow_run_prob=0.0),
+            lambda seed: planetlab_profile(seed=seed, slow_run_prob=1.0),
+            WAN_TIMEOUT,
+        ),
+        (
+            "lan",
+            lambda seed: lan_profile(n=n, seed=seed, slow_node=None),
+            lambda seed: lan_profile(n=n, seed=seed),
+            LAN_TIMEOUT,
+        ),
+        (
+            "uniform-wan",
+            lambda seed: uniform_wan_profile(n=n, seed=seed),
+            None,
+            UNIFORM_TIMEOUT,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # Monte Carlo versus the closed forms.
 # ----------------------------------------------------------------------
 
@@ -469,6 +623,10 @@ class ConformanceReport:
 
     results: list[DifferentialResult] = field(default_factory=list)
     mc_rows: list[DiffRow] = field(default_factory=list)
+    #: The scalar-vs-batched axis: bit-identity of the event stack's two
+    #: execution paths on each profile's static variant, plus the
+    #: fallback probes (see :func:`batched_differential_run`).
+    batch_axis: list[DifferentialResult] = field(default_factory=list)
     #: Did the checkers flag the deliberately broken Algorithm 2 variant?
     mutation_detected: bool = False
     #: Did the intact Algorithm 2 survive the same adversarial schedule?
@@ -478,6 +636,7 @@ class ConformanceReport:
     def ok(self) -> bool:
         return (
             all(result.ok for result in self.results)
+            and all(result.ok for result in self.batch_axis)
             and all(row.ok for row in self.mc_rows)
             and self.mutation_detected
             and self.mutation_clean
@@ -531,6 +690,17 @@ def run_conformance(
                     metrics=metrics,
                 )
             )
+    for profile_name, static, dynamic, timeout in _batched_scenarios(n):
+        report.batch_axis.append(
+            batched_differential_run(
+                profile_name,
+                static,
+                timeout=timeout,
+                rounds=rounds,
+                seed=seed,
+                dynamic_factory=dynamic,
+            )
+        )
     report.mc_rows = montecarlo_vs_equations(samples=mc_samples, seed=seed)
     report.mutation_detected, report.mutation_clean = _mutation_smoke()
     return report
@@ -547,6 +717,34 @@ def _fmt(value: float) -> str:
     return f"{value:.4f}"
 
 
+def _render_result(result: DifferentialResult, lines: list[str]) -> None:
+    lines.append(
+        f"scenario: {result.profile}  faults={result.fault}  "
+        f"timeout={result.timeout:g}s  rounds={result.rounds}  "
+        f"leader={result.leader}  seed={result.seed}"
+    )
+    header = (
+        f"  {'quantity':<28}{'lockstep':>10}{'event':>10}"
+        f"{'delta':>10}{'tol':>8}  status"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in result.rows:
+        delta = "-" if math.isnan(row.delta) else f"{row.delta:+.4f}"
+        lines.append(
+            f"  {row.quantity:<28}{_fmt(row.lockstep):>10}"
+            f"{_fmt(row.event):>10}{delta:>10}{row.tolerance:>8.3f}  "
+            f"{'ok' if row.ok else 'FAIL'}"
+        )
+    if result.violations:
+        lines.append("  invariant violations:")
+        for stack, violation in result.violations:
+            lines.append(f"    {stack}: {violation}")
+    else:
+        lines.append("  invariant violations: none")
+    lines.append("")
+
+
 def conformance_report(report: ConformanceReport) -> str:
     """Human-readable conformance summary (written to
     ``benchmarks/results/conformance.txt`` by the tier-2 benchmark)."""
@@ -556,31 +754,16 @@ def conformance_report(report: ConformanceReport) -> str:
         "",
     ]
     for result in report.results:
+        _render_result(result, lines)
+
+    if report.batch_axis:
         lines.append(
-            f"scenario: {result.profile}  faults={result.fault}  "
-            f"timeout={result.timeout:g}s  rounds={result.rounds}  "
-            f"leader={result.leader}  seed={result.seed}"
+            "Scalar vs batched execution of the event stack "
+            "(exact equality, tolerance 0)"
         )
-        header = (
-            f"  {'quantity':<22}{'lockstep':>10}{'event':>10}"
-            f"{'delta':>10}{'tol':>8}  status"
-        )
-        lines.append(header)
-        lines.append("  " + "-" * (len(header) - 2))
-        for row in result.rows:
-            delta = "-" if math.isnan(row.delta) else f"{row.delta:+.4f}"
-            lines.append(
-                f"  {row.quantity:<22}{_fmt(row.lockstep):>10}"
-                f"{_fmt(row.event):>10}{delta:>10}{row.tolerance:>8.3f}  "
-                f"{'ok' if row.ok else 'FAIL'}"
-            )
-        if result.violations:
-            lines.append("  invariant violations:")
-            for stack, violation in result.violations:
-                lines.append(f"    {stack}: {violation}")
-        else:
-            lines.append("  invariant violations: none")
-        lines.append("")
+        lines.append("-" * 68)
+        for result in report.batch_axis:
+            _render_result(result, lines)
 
     lines.append("Monte Carlo vs closed forms (equations (1)-(10))")
     lines.append("-" * 48)

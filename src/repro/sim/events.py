@@ -101,7 +101,12 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, if any."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            # Detach the event as it leaves the heap, exactly as pop()
+            # does for live events: the ``len(queue) == live events``
+            # invariant must never depend on a back-reference to an
+            # event this queue no longer holds.
+            dropped = heapq.heappop(self._heap)
+            dropped._queue = None
         if not self._heap:
             return None
         return self._heap[0].time
@@ -132,6 +137,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events that have fired so far."""
         return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events awaiting execution."""
+        return len(self._queue)
 
     def schedule(
         self,
@@ -173,7 +183,8 @@ class Simulator:
         Args:
             until: stop once the next event would fire after this time.
             max_events: stop after this many events fire in this call.
-            stop_when: checked after each event; return ``True`` to stop.
+            stop_when: checked on entry and after each event; return
+                ``True`` to stop.
 
         Returns:
             The simulation time when the loop stopped.
@@ -183,6 +194,14 @@ class Simulator:
         self._running = True
         fired = 0
         try:
+            # A stop condition that already holds must prevent the first
+            # event from firing at all: one extra event can mutate state
+            # the caller considers final (e.g. a fault callback after
+            # every node has stopped).  After this entry check, the
+            # per-event check below is exhaustive — no event can run
+            # between it and the next pop.
+            if stop_when is not None and stop_when():
+                return self._now
             while True:
                 if max_events is not None and fired >= max_events:
                     break
@@ -203,6 +222,20 @@ class Simulator:
         finally:
             self._running = False
         return self._now
+
+    def fast_forward(self, time: float) -> None:
+        """Advance the clock to ``time`` without firing anything.
+
+        Used by batched executors (:mod:`repro.sync.batch`) that compute
+        a run's outcome outside the event loop and then leave the
+        simulator at the instant the scalar loop would have stopped.
+        Rewinding is an error, exactly as for :meth:`schedule`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot fast-forward to {time} before current time {self._now}"
+            )
+        self._now = time
 
     def drain(self) -> None:
         """Discard all pending events (used when tearing a run down).

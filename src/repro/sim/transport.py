@@ -130,6 +130,32 @@ class Transport:
         self._recorder.record("transport.drop", t=now, src=src, dst=dst, cause=cause)
 
     @property
+    def trace_enabled(self) -> bool:
+        """Whether every delivery is being recorded into :attr:`deliveries`."""
+        return self._trace
+
+    @property
+    def instrumented(self) -> bool:
+        """Whether a live metrics registry or recorder observes this transport."""
+        return self._metrics.enabled or self._recorder.enabled
+
+    @property
+    def stream_sampling_active(self) -> bool:
+        """Whether sends currently consume pre-sampled per-link streams.
+
+        True iff stream consumption is enabled *and* the installed model
+        is batch-capable and time-invariant; batched executors
+        (:mod:`repro.sync.batch`) require it, since only then do the
+        scalar and batched paths draw bit-identical latency sequences.
+        """
+        return self._batch_streams and self._streams_usable
+
+    @property
+    def streams_started(self) -> bool:
+        """Whether any per-link stream has already been consumed from."""
+        return bool(self._streams)
+
+    @property
     def link_model(self) -> LinkModel:
         """The installed link model.  Assignable: fault injectors wrap the
         current model (e.g. with :class:`repro.sim.faultlink.FaultyLinkModel`)

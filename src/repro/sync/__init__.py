@@ -20,9 +20,19 @@ resynchronization after disruptions — properties the test-suite checks.
 - :mod:`heartbeat` — the all-to-all probe algorithm used by measurement
   runs (each node sends to everyone each round, as in the paper's WAN
   experiment).
+- :mod:`batch` — the batched structure-of-arrays execution of eligible
+  heartbeat runs (``SyncRun.run`` picks it automatically).
 """
 
 from repro.sync.round_sync import SyncedNode, SyncRun, SyncRunResult
 from repro.sync.heartbeat import HeartbeatAlgorithm
+from repro.sync.batch import batch_ineligible_reason, run_batched
 
-__all__ = ["SyncedNode", "SyncRun", "SyncRunResult", "HeartbeatAlgorithm"]
+__all__ = [
+    "SyncedNode",
+    "SyncRun",
+    "SyncRunResult",
+    "HeartbeatAlgorithm",
+    "batch_ineligible_reason",
+    "run_batched",
+]

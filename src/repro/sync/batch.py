@@ -1,0 +1,290 @@
+"""Batched structure-of-arrays execution of heartbeat round-sync runs.
+
+The measurement experiments run the Section 5.1 protocol with the
+all-to-all probe stream (:class:`~repro.sync.heartbeat.HeartbeatAlgorithm`)
+over a clean, time-invariant network.  In that configuration the protocol
+degenerates into perfect lockstep: every node starts round ``k`` at the
+same instant, no future-round message ever arrives (a message can never
+outrun its own round's start), so no node ever jumps, and every round
+lasts exactly ``timeout / (1 + drift)`` of global time.  The event loop
+still pays one Python callback per message — ``rounds * n * (n - 1)``
+heap operations that all compute a foregone conclusion.
+
+This module computes the same run in a handful of NumPy passes:
+
+1. the common round grid ``t[0..R]`` is accumulated with the exact float
+   additions the scalar timers perform (``t[k] = t[k-1] + D``);
+2. every link's latency column is pre-sampled from its own RNG substream
+   in the same :data:`~repro.sim.transport.STREAM_CHUNK`-sized draws the
+   transport's stream path makes, so the two paths consume bit-identical
+   random values;
+3. timeliness, late arrivals, and loss counts are evaluated as whole
+   ``(rounds, n, n)`` arrays, applying the event queue's tie rules
+   (a delivery and a round timer at the same timestamp fire in
+   scheduling-sequence order) in closed form;
+4. the per-node observation state (``round_starts``, ``round_ends``,
+   ``timely_receipts``, counters) is written back onto the
+   :class:`~repro.sync.round_sync.SyncedNode` objects and the ordinary
+   :meth:`SyncRun._collect` assembles the result — result construction
+   runs through the identical code as the scalar path.
+
+Bit-identity (same matrices, ``sync_error``, ``jumps``,
+``late_messages``, decision rounds) is asserted by
+``tests/properties/test_prop_sync_batch.py`` and by the scalar-vs-batched
+axis of :mod:`repro.check.differential`.
+
+Why the tie rules are what they are
+-----------------------------------
+
+Events fire in ``(time, priority, seq)`` order and everything here uses
+priority 0, so simultaneity resolves by scheduling sequence.  Round-``k``
+begin blocks run at ``t[k-1]`` in pid order (round-1 blocks run inside
+the boot events, which are scheduled in pid order at construction; each
+later timer is scheduled inside its node's begin block, preserving the
+order inductively).  Node ``src``'s deliveries of round ``k`` are
+scheduled just before its own round-``k`` timer, so at ``t[k]``:
+
+- a round-``k`` message arriving exactly at ``t[k]`` fires before
+  ``dst``'s round-``k`` timer iff ``src < dst`` — timely iff
+  ``arrival < t[k]`` or (``arrival == t[k]`` and ``src < dst``);
+- any message from an earlier round arriving at ``t[k]`` was scheduled
+  before every round-``k`` timer and therefore fires first, while
+  ``dst`` is still running — it counts as late;
+- at the final instant ``t[R]`` the same rules decide whether ``dst``
+  is still running when a delivery fires: late messages are countable
+  iff ``arrival < t[R]``, or ``arrival == t[R]`` and the message was
+  sent before round ``R``.
+
+A future-round message is impossible: a round-``k`` message arrives at
+``arrival >= t[k-1]`` (latencies are non-negative), and whenever it is
+delivered the receiver has already begun round ``k`` (a zero-latency
+delivery is scheduled *after* the receiver's begin block of the same
+instant, by the sequence argument above).  Hence no jumps, ever.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.giraf.oracle import NullOracle
+from repro.sim.transport import STREAM_CHUNK, Transport
+from repro.sync.heartbeat import HeartbeatAlgorithm
+from repro.sync.round_sync import MIN_ROUND_FRACTION, SyncRun, SyncRunResult
+
+
+#: Fields of :class:`SyncRunResult` whose exact equality the batched path
+#: guarantees, in reporting order.
+RESULT_FIELDS = (
+    "matrices",
+    "sync_error",
+    "round_durations",
+    "jumps",
+    "late_messages",
+    "decisions",
+    "decision_rounds",
+    "proposals",
+    "correct",
+)
+
+
+def result_divergences(a: SyncRunResult, b: SyncRunResult) -> list[str]:
+    """Names of the :data:`RESULT_FIELDS` on which ``a`` and ``b`` differ.
+
+    The comparison is *exact* (bit-level for floats; ``nan`` equals
+    ``nan``, since a censored round must stay censored on both paths) —
+    this is the equality the scalar-vs-batched conformance axis and the
+    property suite assert.  An empty list means the results agree.
+    """
+    diffs: list[str] = []
+    if a.n != b.n:
+        diffs.append("n")
+    if len(a.matrices) != len(b.matrices) or any(
+        not np.array_equal(ma, mb) for ma, mb in zip(a.matrices, b.matrices)
+    ):
+        diffs.append("matrices")
+    if not np.array_equal(
+        np.asarray(a.sync_error), np.asarray(b.sync_error), equal_nan=True
+    ):
+        diffs.append("sync_error")
+    for name in ("round_durations", "jumps", "late_messages",
+                 "decisions", "decision_rounds", "proposals", "correct"):
+        if getattr(a, name) != getattr(b, name):
+            diffs.append(name)
+    return diffs
+
+
+def batch_ineligible_reason(
+    run: SyncRun, time_limit: float
+) -> Optional[str]:
+    """Why ``run`` cannot take the batched path, or ``None`` if it can.
+
+    The batched path reproduces the scalar event loop bit-for-bit only
+    under the perfect-lockstep preconditions; anything that could make a
+    node jump, crash, observe, or consume randomness differently forces
+    the scalar path.  The returned string is surfaced as
+    :attr:`SyncRun.fallback_reason`.
+    """
+    if run.fault_plan is not None:
+        return "fault plan installed"
+    if run.observers:
+        return "observers attached"
+    if run.metrics.enabled or run.recorder.enabled:
+        return "run telemetry (metrics/recorder) enabled"
+    for node in run.nodes:
+        if node.process.round != 0 or node.running or node.crashed:
+            return "a node already started"
+    transport = run.transport
+    if type(transport) is not Transport:
+        return f"transport subclass {type(transport).__name__}"
+    if transport.trace_enabled:
+        return "delivery tracing enabled"
+    if transport.instrumented:
+        return "transport telemetry (metrics/recorder) enabled"
+    if not transport.stream_sampling_active:
+        return "link model is not batch-capable and time-invariant"
+    if transport.streams_started or transport.messages_sent:
+        return "transport already carried traffic"
+    for node in run.nodes:
+        if type(node.process.algorithm) is not HeartbeatAlgorithm:
+            return "algorithm is not the heartbeat probe stream"
+        if type(node.oracle) is not NullOracle:
+            return "oracle is not the null oracle"
+        if node.max_rounds != run.max_rounds:
+            return "per-node max_rounds override"
+    if len({node.timeout for node in run.nodes}) != 1:
+        return "heterogeneous timeouts"
+    if len({node.clock.drift for node in run.nodes}) != 1:
+        return "heterogeneous clock drift"
+    if len({node.start_time for node in run.nodes}) != 1:
+        return "staggered start times"
+    if run.simulator.events_processed or run.simulator.pending_events != run.n:
+        return "simulator already used or extra events scheduled"
+    if _round_grid(run)[-1] > time_limit:
+        return "time limit truncates the run"
+    return None
+
+
+def _round_grid(run: SyncRun) -> list[float]:
+    """The common round boundaries ``t[0..R]`` as exact scalar floats.
+
+    ``t[0]`` is the (uniform) start time; each round lasts
+    ``max(timeout, MIN_ROUND_FRACTION * timeout)`` on the local clock —
+    the exact expression :meth:`SyncedNode._begin_round` evaluates —
+    mapped to global time through the (uniform) drift.  The grid is
+    accumulated sequentially so every boundary is the same IEEE double
+    the scalar timers produce.
+    """
+    node = run.nodes[0]
+    duration = max(node.timeout, MIN_ROUND_FRACTION * node.timeout)
+    step = node.clock.global_duration(duration)
+    times = [node.start_time]
+    for _ in range(run.max_rounds):
+        times.append(times[-1] + step)
+    return times
+
+
+def _presample_links(run: SyncRun, rounds: int) -> np.ndarray:
+    """Latency block ``[k, dst, src]`` for rounds ``1..rounds``.
+
+    Each directed link draws from its own substream in
+    :data:`STREAM_CHUNK`-sized chunks — the same calls, on the same
+    generator, in the same order as
+    :meth:`Transport._next_stream_latency` — so the values are
+    bit-identical to what the scalar path would consume.  The consumed
+    stream state is installed back into the transport, leaving it
+    exactly as a scalar run would.  Lost messages are ``+inf``; the
+    diagonal (never sent) is ``+inf`` too and masked out by callers.
+    """
+    transport = run.transport
+    model = transport.link_model
+    n = run.n
+    block = np.full((rounds, n, n), np.inf)
+    chunks_needed = -(-rounds // STREAM_CHUNK)  # ceil
+    placeholder = np.zeros(STREAM_CHUNK)
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            rng = model.link_stream(src, dst)
+            chunks = [
+                model.sample_link_batch(src, dst, placeholder, rng)
+                for _ in range(chunks_needed)
+            ]
+            if chunks:
+                column = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                block[:, dst, src] = column[:rounds]
+                cursor = (rounds - 1) % STREAM_CHUNK + 1
+                transport._streams[(src, dst)] = [rng, chunks[-1], cursor]
+    return block
+
+
+def run_batched(run: SyncRun, time_limit: float) -> SyncRunResult:
+    """Execute an eligible ``run`` on the batched path.
+
+    Writes the same observation state onto the nodes, the transport, and
+    the simulator clock that the scalar event loop would have left
+    behind — ``round_starts``/``round_ends``/``timely_receipts`` dicts,
+    late-message counters, stream cursors, ``messages_sent``/``lost`` —
+    then delegates to :meth:`SyncRun._collect`, so the result is
+    assembled by the very same code as the scalar path.
+
+    Not mirrored (documented divergence): per-process inboxes, the
+    pending outgoing :class:`~repro.giraf.kernel.RoundOutput`, and the
+    simulator's ``events_processed`` counter; none of them feed
+    :class:`~repro.sync.round_sync.SyncRunResult`.
+    """
+    n = run.n
+    rounds = run.max_rounds
+    times = _round_grid(run)
+    assert times[-1] <= time_limit, "eligibility must pre-check the grid"
+
+    latencies = _presample_links(run, rounds)
+    starts = np.asarray(times[:-1])
+    ends = np.asarray(times[1:])
+    stop = times[-1]
+
+    arrival = starts[:, None, None] + latencies
+    finite = np.isfinite(arrival)
+    # [dst, src] orientation: rows are receivers, columns senders.
+    src_before_dst = np.arange(n)[None, :] < np.arange(n)[:, None]
+    end_col = ends[:, None, None]
+    timely = finite & (
+        (arrival < end_col) | ((arrival == end_col) & src_before_dst)
+    )
+    countable = (arrival < stop) | (
+        (arrival == stop)
+        & (np.arange(rounds)[:, None, None] < rounds - 1)
+    )
+    late = finite & ~timely & countable
+    late_counts = late.sum(axis=(0, 2))
+
+    for node in run.nodes:
+        pid = node.process.pid
+        receipts: dict[int, set[int]] = {}
+        timely_to = timely[:, pid, :]
+        for k in range(1, rounds + 1):
+            srcs = set(np.flatnonzero(timely_to[k - 1]).tolist())
+            srcs.add(pid)
+            receipts[k] = srcs
+        node.timely_receipts = receipts
+        node.round_starts = {k: times[k - 1] for k in range(1, rounds + 1)}
+        node.round_ends = {k: times[k] for k in range(1, rounds + 1)}
+        node.late_messages = int(late_counts[pid])
+        node.jumps = 0
+        node.running = False
+        node.decision_round = None
+        node.process.round = rounds + 1
+        node.process.algorithm.rounds_computed = rounds
+
+    transport = run.transport
+    off_diagonal = ~np.eye(n, dtype=bool)
+    transport.messages_sent += rounds * n * (n - 1)
+    transport.messages_lost += int(np.isinf(latencies[:, off_diagonal]).sum())
+
+    # Leave the simulator where the scalar loop stops: at the last
+    # round-end timer, with the (never-fired) boot events discarded.
+    run.simulator.drain()
+    run.simulator.fast_forward(stop)
+    return run._collect()

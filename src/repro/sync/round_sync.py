@@ -351,8 +351,16 @@ class SyncRun:
                     method = getattr(observer, "on_proposal", None)
                     if method is not None:
                         method(node.process.pid, proposal)
-        if fault_plan is not None:
-            self._schedule_node_faults(fault_plan, timeout)
+        # The plan's round->time grid is anchored to the construction-time
+        # timeout; the actual booking happens at run() so per-node state
+        # mutated between construction and run (heterogeneous timeouts in
+        # particular) is respected.
+        self._plan_timeout = timeout
+        self._faults_scheduled = False
+        #: Which execution path the last :meth:`run` took ("scalar" or
+        #: "batch"), and why the batched path was skipped, if it was.
+        self.executed_mode: Optional[str] = None
+        self.fallback_reason: Optional[str] = None
 
     def _schedule_node_faults(self, plan: FaultPlan, timeout: float) -> None:
         """Book the plan's node-level faults on the simulator clock."""
@@ -408,24 +416,72 @@ class SyncRun:
             # A hair into the round, not on the boundary: at the exact
             # round start the previous round's timer is expiring at the
             # same timestamp, and a step applied to a timer with zero
-            # remaining time is a silent no-op.
+            # remaining time is a silent no-op.  The hair is a fraction
+            # of the *stepped node's own* timeout — with heterogeneous
+            # timeouts, a fraction of another node's (shorter) round can
+            # still land exactly on this node's boundary.
             node = self.nodes[step.pid]
             self.simulator.schedule(
-                at(step.at_round) + 0.01 * timeout,
+                at(step.at_round) + 0.01 * node.timeout,
                 lambda node=node, offset=step.offset: do_clock_step(
                     node, offset
                 ),
                 tag=f"fault:clock-step:{step.pid}",
             )
 
-    def run(self, time_limit: Optional[float] = None) -> SyncRunResult:
-        """Run until every node passes ``max_rounds`` (or the time limit)."""
+    def run(
+        self, time_limit: Optional[float] = None, mode: str = "auto"
+    ) -> SyncRunResult:
+        """Run until every node passes ``max_rounds`` (or the time limit).
+
+        ``mode`` selects the execution path:
+
+        - ``"auto"`` (default): use the batched structure-of-arrays path
+          (:mod:`repro.sync.batch`) when the run is eligible — probe
+          stream, batch-capable time-invariant link model, no faults, no
+          instrumentation, lockstep-uniform nodes — and fall back to the
+          scalar event loop otherwise (``fallback_reason`` says why);
+        - ``"scalar"``: always run the event loop (the reference path);
+        - ``"batch"``: require the batched path; raise if ineligible.
+
+        Both paths produce bit-identical :class:`SyncRunResult`s; the
+        property suite and the conformance axis assert it.
+        """
+        if mode not in ("auto", "scalar", "batch"):
+            raise ValueError(f"unknown mode {mode!r}")
         if time_limit is None:
-            # Generous default: every round at full length plus slack.
-            time_limit = (self.max_rounds + 10) * self.nodes[0].timeout * 3
+            # Generous default: every round at full length plus slack —
+            # at the *largest* timeout across nodes, or heterogeneous
+            # runs silently truncate (the max-timeout node never
+            # finishes its rounds and drags last_common_round down).
+            slowest = max(node.timeout for node in self.nodes)
+            time_limit = (self.max_rounds + 10) * slowest * 3
+        if mode != "scalar":
+            from repro.sync.batch import batch_ineligible_reason, run_batched
+
+            reason = batch_ineligible_reason(self, time_limit)
+            if reason is None:
+                self.executed_mode = "batch"
+                self.fallback_reason = None
+                return run_batched(self, time_limit)
+            if mode == "batch":
+                raise ValueError(
+                    f"batch mode requested but the run is ineligible: {reason}"
+                )
+            self.fallback_reason = reason
+        self.executed_mode = "scalar"
+        if self.fault_plan is not None and not self._faults_scheduled:
+            self._faults_scheduled = True
+            self._schedule_node_faults(self.fault_plan, self._plan_timeout)
+        # "Done" must require having started: before the boot events fire
+        # no node is running, and a bare ``not running`` predicate would
+        # satisfy the simulator's entry check and stop the run at time 0.
         self.simulator.run(
             until=time_limit,
-            stop_when=lambda: all(not node.running for node in self.nodes),
+            stop_when=lambda: all(
+                node.process.started and not node.running
+                for node in self.nodes
+            ),
         )
         return self._collect()
 

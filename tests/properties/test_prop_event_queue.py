@@ -1,0 +1,90 @@
+"""Property test of the event queue's live-count invariant.
+
+``len(queue)`` must always equal the number of live (pushed, not popped,
+not cancelled) events, under *any* interleaving of push / cancel / pop /
+peek — including the sequences that used to corrupt it: double cancels,
+cancels after pop, and cancels of events that ``peek_time`` silently
+dropped from the heap while skimming a cancelled prefix.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.events import EventQueue
+
+#: One operation: push(time), or cancel/pop/peek.  Cancel targets are an
+#: index into everything ever pushed (live or not), so stale handles —
+#: popped events, already-cancelled events, events the heap has dropped —
+#: get cancelled too, which is exactly where the bookkeeping can break.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.floats(0.0, 10.0, allow_nan=False)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0)),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("peek"), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=OPS)
+@settings(max_examples=300, deadline=None)
+def test_len_always_equals_live_event_count(ops):
+    queue = EventQueue()
+    pushed = []  # every event handle ever created
+    popped = set()
+    for op, arg in ops:
+        if op == "push":
+            pushed.append(queue.push(arg, lambda: None))
+        elif op == "cancel" and pushed:
+            pushed[arg % len(pushed)].cancel()
+        elif op == "pop":
+            event = queue.pop()
+            if event is not None:
+                assert not event.cancelled
+                popped.add(id(event))
+        elif op == "peek":
+            time = queue.peek_time()
+            if time is not None:
+                live = [
+                    e for e in pushed
+                    if not e.cancelled and id(e) not in popped
+                ]
+                assert time == min(e.time for e in live)
+        live_count = sum(
+            1
+            for e in pushed
+            if not e.cancelled and id(e) not in popped
+        )
+        assert len(queue) == live_count
+
+    # Drain what's left: every remaining live event must actually pop.
+    remaining = len(queue)
+    drained = 0
+    while queue.pop() is not None:
+        drained += 1
+    assert drained == remaining
+    assert len(queue) == 0
+
+
+@given(ops=OPS)
+@settings(max_examples=150, deadline=None)
+def test_events_leaving_the_queue_are_detached(ops):
+    """No event outside the heap may keep a back-reference to the queue —
+    popped, or dropped by peek_time's cancelled-prefix skim."""
+    queue = EventQueue()
+    pushed = []
+    for op, arg in ops:
+        if op == "push":
+            pushed.append(queue.push(arg, lambda: None))
+        elif op == "cancel" and pushed:
+            pushed[arg % len(pushed)].cancel()
+        elif op == "pop":
+            event = queue.pop()
+            if event is not None:
+                assert event._queue is None
+        elif op == "peek":
+            queue.peek_time()
+    in_heap = {id(e) for e in queue._heap}
+    for event in pushed:
+        if id(event) not in in_heap:
+            assert event._queue is None

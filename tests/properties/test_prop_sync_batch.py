@@ -1,0 +1,160 @@
+"""Property tests of the batched round-sync execution path.
+
+Unlike the *distributional* scalar-vs-batch guarantees of the trace
+sampler (``test_prop_batch_sampling.py``), the batched protocol path is
+held to **bit identity**: an eligible run produces exactly the same
+:class:`~repro.sync.round_sync.SyncRunResult` — matrices, ``sync_error``,
+round durations, jumps, late-message counts, decision bookkeeping — as
+the scalar event loop, over random profiles, seeds, timeouts, and round
+counts.  Both paths consume each link's RNG substream in the same
+chunked order, so even the latencies are the same IEEE doubles.
+
+The fallback triggers are properties too: anything time-varying or
+instrumented must run the scalar path and say why.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.check.differential import uniform_wan_profile
+from repro.giraf.oracle import NullOracle
+from repro.net import lan_profile, measure_latency_table, planetlab_profile
+from repro.sim import Transport
+from repro.sim.faultlink import FaultyLinkModel
+from repro.sync import HeartbeatAlgorithm, SyncRun
+from repro.sync.batch import RESULT_FIELDS, result_divergences
+
+#: Eligible (static) profile variants: the dynamic behaviours are
+#: switched off, which is precisely when the batch path may engage.
+PROFILES = {
+    "uniform-wan": (lambda seed: uniform_wan_profile(n=8, seed=seed), 0.1),
+    "planetlab-static": (
+        lambda seed: planetlab_profile(seed=seed, slow_run_prob=0.0),
+        0.21,
+    ),
+    "lan-static": (lambda seed: lan_profile(seed=seed, slow_node=None), 0.0009),
+}
+
+
+def build_run(factory, timeout, seed, rounds, n=8):
+    profile = factory(seed)
+    table = measure_latency_table(factory(seed + 1), pings=3)
+    return SyncRun(
+        n,
+        lambda pid: HeartbeatAlgorithm(pid, n),
+        NullOracle(),
+        lambda sim: Transport(sim, profile),
+        timeout=timeout,
+        latency_table=table,
+        max_rounds=rounds,
+    )
+
+
+class TestBitIdentity:
+    @given(
+        name=st.sampled_from(sorted(PROFILES)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rounds=st.integers(min_value=1, max_value=40),
+        squeeze=st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batched_result_is_bit_identical(self, name, seed, rounds, squeeze):
+        # ``squeeze`` shrinks the timeout toward the latency body, driving
+        # up ties, late messages, and losses — the hard cases.
+        factory, base_timeout = PROFILES[name]
+        timeout = base_timeout * squeeze
+        scalar_run = build_run(factory, timeout, seed, rounds)
+        scalar = scalar_run.run(mode="scalar")
+        batched_run = build_run(factory, timeout, seed, rounds)
+        batched = batched_run.run()
+        assert batched_run.executed_mode == "batch", batched_run.fallback_reason
+        assert result_divergences(scalar, batched) == []
+        # The externally visible node state agrees too.
+        for a, b in zip(scalar_run.nodes, batched_run.nodes):
+            assert a.round_starts == b.round_starts
+            assert a.round_ends == b.round_ends
+            assert a.timely_receipts == b.timely_receipts
+            assert a.process.round == b.process.round
+            assert (
+                a.process.algorithm.rounds_computed
+                == b.process.algorithm.rounds_computed
+            )
+        assert (
+            scalar_run.transport.messages_sent
+            == batched_run.transport.messages_sent
+        )
+        assert (
+            scalar_run.transport.messages_lost
+            == batched_run.transport.messages_lost
+        )
+        assert scalar_run.simulator.now == batched_run.simulator.now
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_stream_state_left_as_the_scalar_run_leaves_it(self, seed):
+        # After a run, each link's pre-sampled stream must sit at the
+        # same cursor with the same chunk, so continued transport use
+        # draws the same latencies either way.
+        factory, timeout = PROFILES["uniform-wan"]
+        runs = {}
+        for mode in ("scalar", "auto"):
+            run = build_run(factory, timeout, seed, rounds=12)
+            run.run(mode=mode)
+            runs[mode] = run.transport._streams
+        assert runs["scalar"].keys() == runs["auto"].keys()
+        for key, (_, chunk_a, cursor_a) in runs["scalar"].items():
+            _, chunk_b, cursor_b = runs["auto"][key]
+            assert cursor_a == cursor_b, key
+            assert np.array_equal(chunk_a, chunk_b), key
+
+
+class TestFallbackTriggers:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_fault_wrapper_via_setter_forces_scalar(self, seed):
+        class NoFaults:
+            def drop(self, src, dst, now):
+                return False
+
+            def latency_factor(self, src, dst, now):
+                return 1.0
+
+        factory, timeout = PROFILES["uniform-wan"]
+        run = build_run(factory, timeout, seed, rounds=8)
+        run.transport.link_model = FaultyLinkModel(
+            run.transport.link_model, NoFaults()
+        )
+        result = run.run()
+        assert run.executed_mode == "scalar"
+        assert "time-invariant" in run.fallback_reason
+        assert len(result.matrices) == 8
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_dynamic_model_forces_scalar(self, seed):
+        factory = lambda s: planetlab_profile(seed=s, slow_run_prob=1.0)
+        run = build_run(factory, 0.21, seed, rounds=8)
+        assert run.transport.link_model.slow_run
+        result = run.run()
+        assert run.executed_mode == "scalar"
+        assert "time-invariant" in run.fallback_reason
+        assert len(result.matrices) == 8
+
+    def test_result_divergences_detects_every_field(self):
+        # The comparator itself must be able to fail: perturb each field
+        # of a result copy and check it is reported.
+        factory, timeout = PROFILES["uniform-wan"]
+        reference = build_run(factory, timeout, 3, rounds=6).run()
+        for field in RESULT_FIELDS:
+            other = build_run(factory, timeout, 3, rounds=6).run()
+            value = getattr(other, field)
+            if field == "matrices":
+                value[0] = ~value[0]
+            elif field in ("decisions", "decision_rounds", "proposals"):
+                value[0] = "bogus"
+            elif field == "correct":
+                setattr(other, field, frozenset())
+            else:
+                value[0] += 1
+            assert field in result_divergences(reference, other), field

@@ -108,6 +108,22 @@ class TestEventQueue:
         head.cancel()
         assert queue.peek_time() == 5.0
 
+    def test_peek_time_detaches_dropped_cancelled_events(self):
+        # peek_time() discards cancelled events from the heap; they must
+        # be detached exactly as pop() detaches live ones, so no code
+        # path can ever reach the queue's bookkeeping through an event
+        # the heap no longer holds.
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        kept = queue.push(5.0, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 5.0
+        assert head._queue is None
+        head.cancel()  # must stay a no-op after the heap dropped it
+        assert len(queue) == 1
+        assert queue.pop() is kept
+        assert len(queue) == 0
+
     def test_empty_queue_pops_none(self):
         assert EventQueue().pop() is None
         assert EventQueue().peek_time() is None
@@ -162,6 +178,55 @@ class TestSimulator:
             sim.schedule(float(t + 1), lambda t=t: fired.append(t))
         sim.run(stop_when=lambda: len(fired) >= 3)
         assert fired == [0, 1, 2]
+
+    def test_stop_when_holding_on_entry_fires_nothing(self):
+        # Regression: the stop condition used to be checked only after
+        # each event, so a condition already true on entry still let one
+        # event fire — e.g. a fault callback mutating state after every
+        # node had stopped and been collected.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("extra"))
+        assert sim.run(stop_when=lambda: True) == 0.0
+        assert fired == []
+        assert sim.pending_events == 1  # the event survives for later
+
+    def test_stop_when_entry_check_respects_prior_run_state(self):
+        # The second run() must notice the condition reached by the first
+        # before popping anything.
+        sim = Simulator()
+        state = {"done": False, "late": False}
+
+        def finish():
+            state["done"] = True
+
+        sim.schedule(1.0, finish)
+        sim.schedule(2.0, lambda: state.update(late=True))
+        sim.run(stop_when=lambda: state["done"])
+        sim.run(stop_when=lambda: state["done"])
+        assert state == {"done": True, "late": False}
+
+    def test_pending_events_counts_live_events(self):
+        sim = Simulator()
+        kept = sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        doomed.cancel()
+        assert sim.pending_events == 1
+        kept.cancel()
+        assert sim.pending_events == 0
+
+    def test_fast_forward_advances_without_firing(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.fast_forward(0.5)
+        assert sim.now == 0.5
+        assert fired == []
+        with pytest.raises(SimulationError):
+            sim.fast_forward(0.25)  # the simulator never rewinds
+        sim.run()
+        assert fired == [1]
 
     def test_scheduling_in_the_past_raises(self):
         sim = Simulator()

@@ -1,0 +1,190 @@
+"""Unit tests for the batched round-sync execution path.
+
+The bit-identity guarantees live in ``tests/properties/test_prop_sync_batch.py``
+and in the conformance axis; this file pins the dispatch machinery —
+which runs take the fast path, which fall back and why, and that the
+``mode`` override behaves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.differential import uniform_wan_profile
+from repro.faults.plan import Crash, FaultPlan
+from repro.giraf.oracle import NullOracle
+from repro.net import lan_profile, planetlab_profile
+from repro.obs.registry import MetricsRegistry
+from repro.sim import Clock, Transport
+from repro.sim.faultlink import FaultyLinkModel
+from repro.sync import HeartbeatAlgorithm, SyncRun, batch_ineligible_reason
+
+
+def make_run(n=4, timeout=0.1, max_rounds=15, factory=uniform_wan_profile,
+             seed=0, transport_kwargs=None, **kwargs):
+    table = np.full((n, n), 0.02)
+    np.fill_diagonal(table, 0.0)
+    profile = factory(n=n, seed=seed) if factory is uniform_wan_profile else factory(seed=seed)
+    return SyncRun(
+        n,
+        lambda pid: HeartbeatAlgorithm(pid, n),
+        NullOracle(),
+        lambda sim: Transport(sim, profile, **(transport_kwargs or {})),
+        timeout=timeout,
+        latency_table=table,
+        max_rounds=max_rounds,
+        **kwargs,
+    )
+
+
+class TestDispatch:
+    def test_eligible_run_takes_the_batch_path(self):
+        run = make_run()
+        result = run.run()
+        assert run.executed_mode == "batch"
+        assert run.fallback_reason is None
+        assert len(result.matrices) == 15
+
+    def test_scalar_mode_forces_the_event_loop(self):
+        run = make_run()
+        run.run(mode="scalar")
+        assert run.executed_mode == "scalar"
+        assert run.simulator.events_processed > 0
+
+    def test_batch_mode_on_ineligible_run_raises(self):
+        run = make_run(observers=[object()])
+        with pytest.raises(ValueError, match="ineligible.*observers"):
+            run.run(mode="batch")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            make_run().run(mode="vectorised")
+
+    def test_batch_leaves_no_pending_events(self):
+        run = make_run()
+        run.run()
+        assert run.simulator.pending_events == 0
+        assert run.simulator.now == max(run.nodes[0].round_ends.values())
+
+
+class TestFallbackReasons:
+    def assert_falls_back(self, run, fragment, **run_kwargs):
+        run.run(**run_kwargs)
+        assert run.executed_mode == "scalar"
+        assert run.fallback_reason is not None
+        assert fragment in run.fallback_reason, run.fallback_reason
+
+    def test_fault_plan(self):
+        plan = FaultPlan(n=4, crashes=(Crash(pid=1, at_round=3, recover_round=5),))
+        self.assert_falls_back(make_run(fault_plan=plan), "fault plan")
+
+    def test_observers(self):
+        self.assert_falls_back(make_run(observers=[object()]), "observers")
+
+    def test_metrics(self):
+        self.assert_falls_back(
+            make_run(metrics=MetricsRegistry()), "telemetry"
+        )
+
+    def test_transport_trace(self):
+        self.assert_falls_back(
+            make_run(transport_kwargs={"trace": True}), "tracing"
+        )
+
+    def test_streams_disabled(self):
+        self.assert_falls_back(
+            make_run(transport_kwargs={"batch_streams": False}),
+            "batch-capable",
+        )
+
+    def test_dynamic_model_falls_back(self):
+        # A slow-run PlanetLab profile has time-varying windows: it is
+        # not time-invariant, so its streams cannot be pre-sampled.
+        factory = lambda seed: planetlab_profile(seed=seed, slow_run_prob=1.0)
+        self.assert_falls_back(make_run(factory=factory), "time-invariant")
+
+    def test_fault_wrapper_installed_via_setter_falls_back(self):
+        class NoFaults:
+            def drop(self, src, dst, now):
+                return False
+
+            def latency_factor(self, src, dst, now):
+                return 1.0
+
+        run = make_run()
+        run.transport.link_model = FaultyLinkModel(
+            run.transport.link_model, NoFaults()
+        )
+        self.assert_falls_back(run, "time-invariant")
+
+    def test_non_probe_algorithm(self):
+        class Variant(HeartbeatAlgorithm):
+            pass
+
+        run = make_run()
+        run.nodes[0].process.algorithm = Variant(0, 4)
+        assert batch_ineligible_reason(run, 1e9) == (
+            "algorithm is not the heartbeat probe stream"
+        )
+
+    def test_heterogeneous_timeouts(self):
+        run = make_run()
+        run.nodes[2].timeout = 0.5
+        self.assert_falls_back(run, "timeouts")
+
+    def test_heterogeneous_drift(self):
+        clocks = [Clock(drift=1e-5 * i) for i in range(4)]
+        self.assert_falls_back(make_run(clocks=clocks), "drift")
+
+    def test_uniform_nonzero_drift_stays_eligible(self):
+        clocks = [Clock(offset=0.3 * i, drift=2e-5) for i in range(4)]
+        run = make_run(clocks=clocks)
+        run.run()
+        # Offsets never enter the protocol (timers are durations), and a
+        # shared drift just rescales the common grid.
+        assert run.executed_mode == "batch"
+
+    def test_staggered_starts(self):
+        starts = [0.0, 0.0, 0.1, 0.0]
+        self.assert_falls_back(make_run(start_times=starts), "start")
+
+    def test_time_limit_truncation(self):
+        self.assert_falls_back(make_run(), "time limit", time_limit=0.55)
+
+    def test_rerun_falls_back(self):
+        run = make_run()
+        run.run()
+        assert run.executed_mode == "batch"
+        self.assert_falls_back(run, "already started")
+
+    def test_used_transport_falls_back(self):
+        run = make_run()
+        run.transport.send(0, 1, "warmup")
+        assert "traffic" in batch_ineligible_reason(
+            run, 1e9
+        )  # (not run: the foreign payload would crash the receive path)
+
+
+class TestTruncatedScalarFallback:
+    def test_truncated_run_matches_scalar_semantics(self):
+        # A time limit that cuts the run short is ineligible; the scalar
+        # fallback must produce the truncated observations, not raise.
+        run = make_run(max_rounds=50)
+        result = run.run(time_limit=0.55)
+        assert run.executed_mode == "scalar"
+        assert len(result.matrices) < 50
+
+
+class TestLanStaticProfile:
+    def test_static_lan_variant_is_eligible(self):
+        factory = lambda seed: lan_profile(seed=seed, slow_node=None)
+        run = make_run(factory=factory, timeout=0.0009, n=8)
+        run.run()
+        assert run.executed_mode == "batch"
+
+    def test_default_lan_profile_falls_back(self):
+        # The stock LAN profile has a periodically slow node — time-
+        # varying, so it must take the scalar path.
+        run = make_run(factory=lan_profile, timeout=0.0009, n=8)
+        run.run()
+        assert run.executed_mode == "scalar"
+        assert "time-invariant" in run.fallback_reason
