@@ -1,0 +1,171 @@
+"""Latency guard for the sweep service's priority scheduler.
+
+The scenario the service exists for: a paper-scale batch sweep is
+grinding through its cells while short interactive decision queries
+arrive.  Without priorities (``priorities=False``, the single-FIFO
+baseline) every query queues behind the whole sweep; with the default
+priority scheduler a query overtakes the sweep at the next free worker
+slot.  This benchmark runs the identical mixed workload both ways on a
+two-thread executor and asserts the interactive p50 under priorities is
+at most :data:`MAX_P50_RATIO` of the baseline's — plus the other two
+service guarantees: in-flight dedup collapses identical concurrent
+sweeps into one computation, and the served sweep is bit-identical to
+the direct engine call.
+
+Measured latencies go to ``benchmarks/results/service_latency.txt``.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.experiments.config import WAN_TIMEOUTS, SweepConfig
+from repro.experiments.figures import run_wan_sweep
+from repro.obs.registry import MetricsRegistry
+from repro.service import (
+    DecisionQuery,
+    SweepService,
+    ThreadCellExecutor,
+    WanSweepJob,
+)
+
+#: The batch workload: the paper's full WAN timeout grid, shrunk in
+#: repetitions — 11 timeouts x 4 runs = 44 cells.
+BATCH = SweepConfig(
+    rounds_per_run=80, runs=4, start_points=6, timeouts=WAN_TIMEOUTS, seed=2007
+)
+
+#: The interactive stream: distinct single-cell decision queries.
+QUERIES = [
+    DecisionQuery(config=BATCH, t_index=t, r_index=r, model="WLM")
+    for t in range(4)
+    for r in range(2)
+]
+
+WORKERS = 2
+MAX_P50_RATIO = 0.5
+
+#: Dedup check: small enough to be instant, big enough to overlap.
+DEDUP = SweepConfig(
+    rounds_per_run=30, runs=2, start_points=3, timeouts=(0.16, 0.21), seed=13
+)
+DEDUP_CELLS = len(DEDUP.timeouts) * DEDUP.runs
+DEDUP_CLIENTS = 3
+
+
+def p50(values):
+    return float(np.percentile(values, 50))
+
+
+async def _mixed_workload(priorities):
+    """One batch sweep + the interactive stream, submitted up front.
+
+    Returns (interactive submit-to-done latencies, batch wall time,
+    batch sweep artifact).
+    """
+    async with SweepService(
+        executor=ThreadCellExecutor(WORKERS), priorities=priorities
+    ) as service:
+        batch_start = time.perf_counter()
+        batch = service.submit(WanSweepJob(config=BATCH))
+
+        async def timed(handle, start):
+            await handle.result()
+            return time.perf_counter() - start
+
+        waiters = []
+        for query in QUERIES:
+            start = time.perf_counter()
+            waiters.append(timed(service.submit(query), start))
+        latencies = list(await asyncio.gather(*waiters))
+        sweep = await batch.result()
+        batch_wall = time.perf_counter() - batch_start
+    return latencies, batch_wall, sweep
+
+
+def run_mixed(priorities):
+    return asyncio.run(_mixed_workload(priorities))
+
+
+def run_dedup():
+    """N identical concurrent sweeps -> one computation, shared result."""
+
+    async def go():
+        metrics = MetricsRegistry()
+        async with SweepService(
+            executor=ThreadCellExecutor(WORKERS), metrics=metrics
+        ) as service:
+            handles = [
+                service.submit(WanSweepJob(config=DEDUP))
+                for _ in range(DEDUP_CLIENTS)
+            ]
+            results = [await handle.result() for handle in handles]
+        return metrics, results
+
+    return asyncio.run(go())
+
+
+def assert_sweeps_identical(a, b):
+    assert a.leader == b.leader
+    assert list(a.runs) == list(b.runs)
+    for timeout in a.runs:
+        for run_a, run_b in zip(a.runs[timeout], b.runs[timeout]):
+            assert run_a.p == run_b.p
+            assert run_a.matrices.dtype == run_b.matrices.dtype
+            assert np.array_equal(run_a.matrices, run_b.matrices)
+
+
+def test_interactive_latency_under_mixed_workload(save_result):
+    # Warm the process (imports, allocator) off the clock.
+    run_wan_sweep(DEDUP)
+
+    fifo_lat, fifo_wall, fifo_sweep = run_mixed(priorities=False)
+    prio_lat, prio_wall, prio_sweep = run_mixed(priorities=True)
+
+    # Correctness before speed: both modes serve the direct engine's
+    # bytes, and dedup collapses identical concurrent submissions.
+    direct = run_wan_sweep(BATCH)
+    assert_sweeps_identical(direct, prio_sweep)
+    assert_sweeps_identical(direct, fifo_sweep)
+
+    metrics, dedup_results = run_dedup()
+    assert metrics.value(
+        "service.dedup_hits", **{"class": "batch"}
+    ) == DEDUP_CLIENTS - 1
+    assert metrics.value(
+        "service.cells_executed", **{"class": "batch"}
+    ) == DEDUP_CELLS
+    for result in dedup_results:
+        assert result is dedup_results[0]
+    assert_sweeps_identical(run_wan_sweep(DEDUP), dedup_results[0])
+
+    ratio = p50(prio_lat) / p50(fifo_lat)
+    lines = [
+        f"Sweep service: interactive latency under a mixed workload "
+        f"({WORKERS} worker threads, {len(BATCH.timeouts) * BATCH.runs} "
+        f"batch cells + {len(QUERIES)} interactive queries)",
+        "",
+        f"{'scheduler':<12} {'inter p50':>12} {'inter p90':>12} "
+        f"{'batch wall':>12}",
+        f"{'fifo':<12} {p50(fifo_lat) * 1e3:>10.1f}ms "
+        f"{float(np.percentile(fifo_lat, 90)) * 1e3:>10.1f}ms "
+        f"{fifo_wall * 1e3:>10.1f}ms",
+        f"{'priority':<12} {p50(prio_lat) * 1e3:>10.1f}ms "
+        f"{float(np.percentile(prio_lat, 90)) * 1e3:>10.1f}ms "
+        f"{prio_wall * 1e3:>10.1f}ms",
+        "",
+        f"interactive p50 ratio (priority/fifo): {ratio:.3f}  "
+        f"(ceiling: {MAX_P50_RATIO:.2f})",
+        f"dedup: {DEDUP_CLIENTS} identical concurrent sweeps -> "
+        f"{DEDUP_CELLS} cells executed, "
+        f"{DEDUP_CLIENTS - 1} dedup hits, one shared bit-identical "
+        f"artifact (asserted)",
+    ]
+    save_result("service_latency", "\n".join(lines))
+
+    assert ratio <= MAX_P50_RATIO, (
+        f"priority scheduling bought too little: interactive p50 "
+        f"{p50(prio_lat) * 1e3:.1f}ms vs fifo {p50(fifo_lat) * 1e3:.1f}ms "
+        f"(ratio {ratio:.3f} > {MAX_P50_RATIO})"
+    )

@@ -41,6 +41,26 @@ from repro.experiments import measurement
 PROFILE_SAMPLERS = ("wan", "lan")
 
 
+def _digest(blob: str) -> str:
+    """The cache's canonical hash: sha256, truncated to 32 hex chars."""
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def content_key(kind: str, version: str, **params: object) -> str:
+    """A content hash over a canonical ``kind:version:k=v:...`` blob.
+
+    The same discipline as :func:`trace_key`, generalized: every
+    parameter that could change the result is folded into the hash in
+    sorted order (via ``repr``, so floats keep full precision), and a
+    version field retires keys when the computation itself changes.
+    The sweep service (:mod:`repro.service`) uses this for its in-flight
+    dedup keys, so "the same request" means exactly what it means for
+    cached traces: identical parameters, hence bit-identical results.
+    """
+    parts = ":".join(f"{k}={params[k]!r}" for k in sorted(params))
+    return _digest(f"{kind}:{version}:{parts}")
+
+
 def trace_key(
     profile: str, n: int, rounds: int, round_length: float, seed: int
 ) -> str:
@@ -50,7 +70,7 @@ def trace_key(
         f":{profile}:n={int(n)}:rounds={int(rounds)}"
         f":round_length={float(round_length)!r}:seed={int(seed)}"
     )
-    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+    return _digest(blob)
 
 
 class TraceCache:
@@ -117,6 +137,21 @@ def deactivate() -> None:
     _active = None
 
 
+def install(cache: Optional[TraceCache]) -> Optional[TraceCache]:
+    """Install a :class:`TraceCache` *object* (or ``None``) process-wide.
+
+    Unlike :func:`activate`, this preserves the object's hit/miss
+    counters, so a scope that temporarily swaps caches (the serial sweep
+    path with an explicit ``cache_root``) can restore the previous cache
+    without resetting its statistics.  Returns the previously active
+    cache so the caller can restore it later.
+    """
+    global _active
+    previous = _active
+    _active = cache
+    return previous
+
+
 def active_cache() -> Optional[TraceCache]:
     """The process-wide cache, if one is active."""
     return _active
@@ -145,10 +180,28 @@ def cached_trace(
     if cache is None:
         cache = _active
     if cache is None:
-        return sampler(rounds, round_length, seed)
+        return _validated_n(profile, sampler(rounds, round_length, seed), n)
     key = trace_key(profile, n, rounds, round_length, seed)
     trace = cache.load(profile, key)
     if trace is None:
-        trace = sampler(rounds, round_length, seed)
+        trace = _validated_n(profile, sampler(rounds, round_length, seed), n)
         cache.store(profile, key, trace)
+    return _validated_n(profile, trace, n)
+
+
+def _validated_n(profile: str, trace: np.ndarray, n: int) -> np.ndarray:
+    """Reject an ``n`` the profile's sampler cannot honor.
+
+    ``n`` is hashed into :func:`trace_key` but the profile samplers draw
+    traces of their own fixed size (the paper's 8 nodes), so a mismatched
+    ``n`` used to mint a *distinct* cache entry holding a trace of the
+    wrong size — silently, since nothing downstream rechecked the shape.
+    Raising here keeps the key's contract honest: every parameter in the
+    hash is a parameter of the stored bytes.
+    """
+    if trace.shape[1] != int(n):
+        raise ValueError(
+            f"profile {profile!r} samples {trace.shape[1]}-node traces, "
+            f"but n={n} was requested; the profile's node count is fixed"
+        )
     return trace

@@ -4,21 +4,38 @@ The measurement sweeps are embarrassingly parallel: every (timeout, run)
 cell derives its own seed (:meth:`SweepConfig.run_seed`) and samples its
 own trace, so cells can execute in any order on any worker without
 changing a single bit of the result.  This module fans the WAN sweep and
-the LAN figure out over a :class:`concurrent.futures.ProcessPoolExecutor`
-with one task per cell and reassembles the results in the serial order —
+the LAN figure out over a pluggable :class:`CellExecutor` with one task
+per cell and reassembles the results in the serial order —
 ``run_wan_sweep_parallel(config, jobs=k)`` equals ``run_wan_sweep(config)``
 exactly, for any ``k``.
 
-Workers inherit the trace cache (:mod:`repro.experiments.cache`) through
-a pool initializer, so a warm cache is shared across processes; writes
-are atomic, so racing workers are safe.
+Executors and cells-as-tasks
+----------------------------
+
+Execution is factored into two layers so other schedulers (notably the
+sweep service, :mod:`repro.service`) can reuse the engine's work unit:
+
+- **Cells as tasks**: :func:`cell_grid` enumerates the ``(config,
+  t_index, r_index)`` arguments, :func:`wan_task`/:func:`lan_task` are
+  the picklable per-cell functions returning a :class:`CellOutcome`
+  (result + worker-side profile), and :func:`assemble_wan_sweep` /
+  :func:`assemble_lan_figure` rebuild the serial-order artifacts.
+- **Executors**: :class:`SerialCellExecutor` (in-process, inline),
+  :class:`ThreadCellExecutor` (in-process, concurrent) and
+  :class:`ProcessCellExecutor` (one process per worker) share the
+  ``submit(task, arg) -> Future`` surface.  Process workers inherit the
+  trace cache (:mod:`repro.experiments.cache`) through a pool
+  initializer; the in-process executors activate an explicit
+  ``cache_root`` on entry and restore the previously active cache —
+  object and counters intact — on exit.  Cache writes are atomic, so
+  racing workers are safe.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, NamedTuple, Optional, Sequence, TypeVar
 
@@ -41,8 +58,11 @@ _CellResult = TypeVar("_CellResult")
 #: ``progress(done_cells, total_cells)``, invoked after every finished cell.
 ProgressCallback = Callable[[int, int], None]
 
+#: One cell's picklable argument tuple: ``(config, t_index, r_index)``.
+CellArgs = tuple[SweepConfig, int, int]
 
-class _CellOutcome(NamedTuple):
+
+class CellOutcome(NamedTuple):
     """One cell's result plus its worker-side profile.
 
     The profile rides back with the result so the parent can aggregate
@@ -57,7 +77,11 @@ class _CellOutcome(NamedTuple):
     cache_misses: int
 
 
-def _profiled(compute: Callable[[], _CellResult]) -> "_CellOutcome":
+#: Backwards-compatible alias (the profile tuple predates its export).
+_CellOutcome = CellOutcome
+
+
+def _profiled(compute: Callable[[], _CellResult]) -> "CellOutcome":
     """Run one cell, measuring wall time and trace-cache hits/misses."""
     active = trace_cache.active_cache()
     hits0 = active.hits if active is not None else 0
@@ -68,7 +92,7 @@ def _profiled(compute: Callable[[], _CellResult]) -> "_CellOutcome":
     active = trace_cache.active_cache()
     hits = (active.hits - hits0) if active is not None else 0
     misses = (active.misses - misses0) if active is not None else 0
-    return _CellOutcome(result, seconds, hits, misses)
+    return CellOutcome(result, seconds, hits, misses)
 
 
 def default_jobs() -> int:
@@ -82,14 +106,21 @@ def _init_worker(cache_root: Optional[str]) -> None:
         trace_cache.activate(cache_root)
 
 
-def _wan_task(args: tuple[SweepConfig, int, int]) -> _CellOutcome:
+def wan_task(args: CellArgs) -> CellOutcome:
+    """Compute one WAN sweep cell (picklable; see :func:`wan_cell`)."""
     config, t_index, r_index = args
     return _profiled(lambda: wan_cell(config, t_index, r_index))
 
 
-def _lan_task(args: tuple[SweepConfig, int, int]) -> _CellOutcome:
+def lan_task(args: CellArgs) -> CellOutcome:
+    """Compute one LAN figure cell (picklable; see :func:`lan_cell`)."""
     config, t_index, r_index = args
     return _profiled(lambda: lan_cell(config, t_index, r_index))
+
+
+# Legacy private names (kept so pickled references keep resolving).
+_wan_task = wan_task
+_lan_task = lan_task
 
 
 def _resolve_cache_root(cache_root: Optional[Path | str]) -> Optional[str]:
@@ -101,8 +132,245 @@ def _resolve_cache_root(cache_root: Optional[Path | str]) -> Optional[str]:
     return None
 
 
+# ----------------------------------------------------------------------
+# Cells as tasks.
+# ----------------------------------------------------------------------
+def cell_grid(config: SweepConfig) -> list[CellArgs]:
+    """Every ``(config, t_index, r_index)`` cell, in serial order."""
+    return [
+        (config, t_index, r_index)
+        for t_index in range(len(config.timeouts))
+        for r_index in range(config.runs)
+    ]
+
+
+def wan_cell_tasks(
+    config: SweepConfig,
+) -> list[tuple[Callable[[CellArgs], CellOutcome], CellArgs]]:
+    """The WAN sweep as independent ``(task, args)`` pairs."""
+    return [(wan_task, cell) for cell in cell_grid(config)]
+
+
+def lan_cell_tasks(
+    config: SweepConfig,
+) -> list[tuple[Callable[[CellArgs], CellOutcome], CellArgs]]:
+    """The LAN figure as independent ``(task, args)`` pairs."""
+    return [(lan_task, cell) for cell in cell_grid(config)]
+
+
+def rows_from_flat(flat: Sequence[Any], config: SweepConfig) -> list[list[Any]]:
+    """Reshape serial-order flat cell results to ``rows[t_index][r_index]``."""
+    return [
+        list(flat[t_index * config.runs : (t_index + 1) * config.runs])
+        for t_index in range(len(config.timeouts))
+    ]
+
+
+def assemble_wan_sweep(
+    config: SweepConfig, leader: int, rows: Sequence[Sequence[WanRun]]
+) -> WanSweep:
+    """Rebuild a :class:`WanSweep` from per-cell results in serial order."""
+    sweep = WanSweep(config=config, leader=leader)
+    for t_index, timeout in enumerate(config.timeouts):
+        sweep.runs[timeout] = list(rows[t_index])
+    return sweep
+
+
+def assemble_lan_figure(
+    config: SweepConfig, rows: Sequence[Sequence[LanCell]]
+) -> FigureSeries:
+    """Rebuild figure 1(c) from per-cell results in serial order."""
+    return figure_1c(config, cells=rows)
+
+
+# ----------------------------------------------------------------------
+# Executors.
+# ----------------------------------------------------------------------
+class CellExecutor:
+    """Pluggable backend executing cell tasks.
+
+    The contract: ``submit(task, arg)`` returns a
+    :class:`concurrent.futures.Future` resolving to ``task(arg)``; the
+    executor is a context manager whose exit releases its resources.
+    ``workers`` is the concurrency the scheduler may assume; ``inline``
+    marks executors whose ``submit`` computes synchronously (so callers
+    can interleave submission with consumption for streaming progress).
+    """
+
+    workers: int = 1
+    inline: bool = False
+
+    def submit(self, task: Callable[[Any], Any], arg: Any) -> Future:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release resources (idempotent)."""
+
+    def __enter__(self) -> "CellExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+class _InProcessCacheScope:
+    """Shared cache activation for executors running in this process.
+
+    An explicit ``cache_root`` is activated on entry *unless* it is
+    already the active cache's root (in which case the active object —
+    and its hit/miss counters, which callers aggregate — is kept); the
+    previously active cache object is restored on exit.
+    """
+
+    def __init__(self, cache_root: Optional[Path | str]) -> None:
+        self._cache_root = cache_root
+        self._previous: Optional[trace_cache.TraceCache] = None
+        self._swapped = False
+
+    def activate(self) -> None:
+        active = trace_cache.active_cache()
+        root = self._cache_root
+        if root is not None and (
+            active is None or str(active.root) != str(root)
+        ):
+            self._previous = trace_cache.install(
+                trace_cache.TraceCache(root)
+            )
+            self._swapped = True
+
+    def restore(self) -> None:
+        if self._swapped:
+            trace_cache.install(self._previous)
+            self._swapped = False
+            self._previous = None
+
+
+class SerialCellExecutor(CellExecutor):
+    """In-process executor: ``submit`` runs the task inline.
+
+    This is the ``jobs=1`` path — no pool, no threads, useful for
+    spying/debugging — with the same cache semantics as the pool: an
+    explicit ``cache_root`` is honored (activated on entry, previous
+    cache restored on exit) instead of silently ignored.
+    """
+
+    workers = 1
+    inline = True
+
+    def __init__(self, cache_root: Optional[Path | str] = None) -> None:
+        self._scope = _InProcessCacheScope(cache_root)
+
+    def __enter__(self) -> "SerialCellExecutor":
+        self._scope.activate()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+        self._scope.restore()
+
+    def submit(self, task: Callable[[Any], Any], arg: Any) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(task(arg))
+        except BaseException as exc:  # the future carries the failure
+            future.set_exception(exc)
+        return future
+
+
+class ThreadCellExecutor(CellExecutor):
+    """In-process concurrent executor over a thread pool.
+
+    Cells are pure functions, so threads preserve bit-identical results;
+    NumPy releases the GIL across the heavy sampling kernels.  This is
+    the sweep service's default backend: it shares the process-wide
+    trace cache without pickling and keeps the event loop responsive.
+    (Per-cell cache hit/miss attribution is approximate under threads —
+    the counters are shared — but totals remain exact on the cache
+    object itself.)
+    """
+
+    inline = False
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_root: Optional[Path | str] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self._scope = _InProcessCacheScope(cache_root)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def __enter__(self) -> "ThreadCellExecutor":
+        self._scope.activate()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+        self._scope.restore()
+
+    def submit(self, task: Callable[[Any], Any], arg: Any) -> Future:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool.submit(task, arg)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessCellExecutor(CellExecutor):
+    """One worker process per slot; workers inherit the trace cache.
+
+    The pool initializer re-activates ``cache_root`` in every worker, so
+    a warm cache is shared across processes.
+    """
+
+    inline = False
+
+    def __init__(
+        self,
+        workers: int,
+        cache_root: Optional[Path | str] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self._cache_root = cache_root
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def submit(self, task: Callable[[Any], Any], arg: Any) -> Future:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(_resolve_cache_root(self._cache_root),),
+            )
+        return self._pool.submit(task, arg)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_cell_executor(
+    jobs: Optional[int], cache_root: Optional[Path | str] = None
+) -> CellExecutor:
+    """The engine's executor choice for a ``--jobs`` value.
+
+    ``None``/``<=0`` means one process per CPU; ``1`` runs in-process
+    (no pool).  ``cache_root`` defaults to the process-wide active
+    cache's root, if any.
+    """
+    if jobs is None or jobs <= 0:
+        jobs = default_jobs()
+    resolved = _resolve_cache_root(cache_root)
+    if jobs == 1:
+        return SerialCellExecutor(cache_root=resolved)
+    return ProcessCellExecutor(jobs, cache_root=resolved)
+
+
 def _map_cells(
-    task: Callable[[tuple[SweepConfig, int, int]], _CellOutcome],
+    task: Callable[[CellArgs], CellOutcome],
     config: SweepConfig,
     jobs: Optional[int],
     cache_root: Optional[Path | str],
@@ -110,7 +378,7 @@ def _map_cells(
     metrics: Optional[MetricsRegistry] = None,
     phase: str = "sweep",
 ) -> list[list[Any]]:
-    """Evaluate every (timeout, run) cell, ``jobs`` at a time.
+    """Evaluate every (timeout, run) cell on the executor for ``jobs``.
 
     Returns ``results[t_index][r_index]`` in the serial iteration order
     regardless of completion order.  When ``metrics`` is given, per-cell
@@ -118,23 +386,18 @@ def _map_cells(
     aggregated under the ``phase`` label; the results themselves are
     untouched.
     """
-    if jobs is None or jobs <= 0:
-        jobs = default_jobs()
+    executor = make_cell_executor(jobs, cache_root)
     metrics = registry_or_null(metrics)
     cell_seconds = metrics.histogram("sweep.cell_seconds", phase=phase)
     cache_hits = metrics.counter("sweep.cache_hits", phase=phase)
     cache_misses = metrics.counter("sweep.cache_misses", phase=phase)
-    cells = [
-        (config, t_index, r_index)
-        for t_index in range(len(config.timeouts))
-        for r_index in range(config.runs)
-    ]
+    cells = cell_grid(config)
     total = len(cells)
     busy = 0.0
     begin = time.perf_counter()
     flat: list[Any] = []
 
-    def consume(outcome: _CellOutcome) -> None:
+    def consume(outcome: CellOutcome) -> None:
         nonlocal busy
         flat.append(outcome.result)
         busy += outcome.seconds
@@ -142,21 +405,18 @@ def _map_cells(
         cache_hits.inc(outcome.cache_hits)
         cache_misses.inc(outcome.cache_misses)
 
-    if jobs == 1:
-        for done, cell in enumerate(cells, start=1):
-            consume(task(cell))
-            if progress is not None:
-                progress(done, total)
-    else:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(_resolve_cache_root(cache_root),),
-        ) as pool:
-            for done, outcome in enumerate(
-                pool.map(task, cells, chunksize=1), start=1
-            ):
-                consume(outcome)
+    with executor:
+        if executor.inline:
+            # Inline submit computes immediately: interleave so progress
+            # streams during the sweep instead of arriving at the end.
+            for done, cell in enumerate(cells, start=1):
+                consume(executor.submit(task, cell).result())
+                if progress is not None:
+                    progress(done, total)
+        else:
+            futures = [executor.submit(task, cell) for cell in cells]
+            for done, future in enumerate(futures, start=1):
+                consume(future.result())
                 if progress is not None:
                     progress(done, total)
     elapsed = time.perf_counter() - begin
@@ -165,13 +425,10 @@ def _map_cells(
         # the workers were saturated, low values mean dispatch overhead
         # or stragglers dominated.
         metrics.gauge("sweep.worker_utilization", phase=phase).set(
-            min(1.0, busy / (elapsed * jobs))
+            min(1.0, busy / (elapsed * executor.workers))
         )
     metrics.gauge("sweep.elapsed_seconds", phase=phase).set(elapsed)
-    return [
-        flat[t_index * config.runs : (t_index + 1) * config.runs]
-        for t_index in range(len(config.timeouts))
-    ]
+    return rows_from_flat(flat, config)
 
 
 def run_wan_sweep_parallel(
@@ -195,12 +452,9 @@ def run_wan_sweep_parallel(
             hit/miss counts and worker utilization (``phase=wan``).
     """
     rows = _map_cells(
-        _wan_task, config, jobs, cache_root, progress, metrics, phase="wan"
+        wan_task, config, jobs, cache_root, progress, metrics, phase="wan"
     )
-    sweep = WanSweep(config=config, leader=leader)
-    for t_index, timeout in enumerate(config.timeouts):
-        sweep.runs[timeout] = rows[t_index]
-    return sweep
+    return assemble_wan_sweep(config, leader, rows)
 
 
 def figure_1c_parallel(
@@ -213,6 +467,6 @@ def figure_1c_parallel(
     """:func:`~repro.experiments.figures.figure_1c` with parallel cells;
     bit-identical to the serial figure."""
     rows = _map_cells(
-        _lan_task, config, jobs, cache_root, progress, metrics, phase="lan"
+        lan_task, config, jobs, cache_root, progress, metrics, phase="lan"
     )
-    return figure_1c(config, cells=rows)
+    return assemble_lan_figure(config, rows)

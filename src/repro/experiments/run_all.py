@@ -16,6 +16,12 @@ new figure, or a different downstream analysis — re-simulates nothing.
 ``--no-cache`` disables this; ``--jobs N`` fans the sweeps out over N
 worker processes (0 = one per CPU).
 
+``--serve`` routes the LAN/WAN sweeps through the sweep service
+(:mod:`repro.service`): both are submitted up front as typed jobs to an
+asyncio queue with admission control, in-flight dedup and priority
+classes, and the returned artifacts are bit-identical to the direct
+engine path.
+
 ``--check`` appends the conformance phase (see :mod:`repro.check`):
 differential validation of the lockstep and event-driven stacks on three
 network profiles with and without a fault plan, the
@@ -93,11 +99,17 @@ def headline_numbers() -> str:
 
 
 class _PhaseProgress:
-    """Prints coarse per-phase progress plus a final throughput line."""
+    """Prints coarse per-phase progress plus a final throughput line.
+
+    Timed with ``time.perf_counter``, never ``time.time``: the fault
+    subsystem deliberately steps the wall clock in this process, and a
+    stepped (or NTP-slewed) clock would corrupt the reported elapsed
+    time and throughput.
+    """
 
     def __init__(self, label: str) -> None:
         self.label = label
-        self.start = time.time()
+        self.start = time.perf_counter()
         self._last_quarter = 0
 
     def __call__(self, done: int, total: int) -> None:
@@ -107,7 +119,7 @@ class _PhaseProgress:
             print(f"    ... {done}/{total} cells", flush=True)
 
     def finish(self, cells: int) -> None:
-        elapsed = time.time() - self.start
+        elapsed = time.perf_counter() - self.start
         rate = cells / elapsed if elapsed > 0 else float("inf")
         print(
             f"  {self.label}: {cells} cells in {elapsed:.2f}s "
@@ -204,6 +216,14 @@ def main(argv: list[str] | None = None) -> int:
         "and the mutation self-test; writes conformance.txt",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="route the LAN/WAN sweeps through the repro.service job "
+        "queue (admission control, in-flight dedup, priority classes) "
+        "instead of driving the engine directly; results are "
+        "bit-identical to the direct path",
+    )
+    parser.add_argument(
         "--metrics",
         type=Path,
         default=None,
@@ -240,7 +260,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         print(f"  wrote {args.out / name}.txt", flush=True)
 
-    start = time.time()
+    start = time.perf_counter()
     phases = str(4 + int(args.faults) + int(args.check))
     print(f"[1/{phases}] analysis figures (Section 4.2)", flush=True)
     with profile.phase("analysis"):
@@ -254,31 +274,52 @@ def main(argv: list[str] | None = None) -> int:
     # and cache statistics flow through its aggregation.
     use_engine = jobs > 1 or profile.enabled
 
-    print(f"[2/{phases}] LAN measurement (Section 5.2)", flush=True)
-    lan_progress = _PhaseProgress("LAN sweep")
-    with profile.phase("lan"):
-        if use_engine:
-            fig1c = figure_1c_parallel(
-                lan_config, jobs=jobs, progress=lan_progress, metrics=metrics
-            )
-        else:
-            fig1c = figure_1c(lan_config)
-    lan_progress.finish(len(lan_config.timeouts) * lan_config.runs)
-    emit("fig1c", fig1c)
+    if args.serve:
+        print(
+            f"[2/{phases}] LAN measurement (Section 5.2) — via repro.service",
+            flush=True,
+        )
+        print(
+            f"[3/{phases}] WAN sweep (Section 5.3) — via repro.service "
+            "(this is the slow part)",
+            flush=True,
+        )
+        serve_progress = _PhaseProgress("served sweeps")
+        with profile.phase("serve"):
+            fig1c, sweep = _serve_sweeps(lan_config, wan_config, jobs, metrics)
+        serve_progress.finish(
+            len(lan_config.timeouts) * lan_config.runs
+            + len(wan_config.timeouts) * wan_config.runs
+        )
+        emit("fig1c", fig1c)
+    else:
+        print(f"[2/{phases}] LAN measurement (Section 5.2)", flush=True)
+        lan_progress = _PhaseProgress("LAN sweep")
+        with profile.phase("lan"):
+            if use_engine:
+                fig1c = figure_1c_parallel(
+                    lan_config, jobs=jobs, progress=lan_progress,
+                    metrics=metrics,
+                )
+            else:
+                fig1c = figure_1c(lan_config)
+        lan_progress.finish(len(lan_config.timeouts) * lan_config.runs)
+        emit("fig1c", fig1c)
 
-    print(
-        f"[3/{phases}] WAN sweep (Section 5.3) — this is the slow part",
-        flush=True,
-    )
-    wan_progress = _PhaseProgress("WAN sweep")
-    with profile.phase("wan"):
-        if use_engine:
-            sweep = run_wan_sweep_parallel(
-                wan_config, jobs=jobs, progress=wan_progress, metrics=metrics
-            )
-        else:
-            sweep = run_wan_sweep(wan_config)
-    wan_progress.finish(len(wan_config.timeouts) * wan_config.runs)
+        print(
+            f"[3/{phases}] WAN sweep (Section 5.3) — this is the slow part",
+            flush=True,
+        )
+        wan_progress = _PhaseProgress("WAN sweep")
+        with profile.phase("wan"):
+            if use_engine:
+                sweep = run_wan_sweep_parallel(
+                    wan_config, jobs=jobs, progress=wan_progress,
+                    metrics=metrics,
+                )
+            else:
+                sweep = run_wan_sweep(wan_config)
+        wan_progress.finish(len(wan_config.timeouts) * wan_config.runs)
 
     print(f"[4/{phases}] WAN figures", flush=True)
     with profile.phase("wan-figures"):
@@ -327,7 +368,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{cache.entries()} entries on disk",
             flush=True,
         )
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
 
     if profile.enabled:
         if cache is not None:
@@ -338,6 +379,32 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"done in {elapsed:.1f}s -> {args.out}/", flush=True)
     return 0
+
+
+def _serve_sweeps(lan_config, wan_config, jobs: int, metrics):
+    """The ``--serve`` client path: both sweeps as service jobs.
+
+    Submits the LAN figure and the WAN sweep to a fresh
+    :class:`repro.service.SweepService` up front — so the run exercises
+    the queue, dedup keys and telemetry — and awaits both artifacts.
+    The executor matches the direct path's choice for ``jobs`` (serial
+    in-process for 1, a process pool otherwise, trace cache inherited
+    either way), and the jobs reuse the engine's own cell tasks and
+    assembly, so the returned figure and sweep are bit-identical to the
+    direct engine calls.
+    """
+    # Imported here, not at module top: the CLI should not pay the
+    # service import (and run_all must stay importable from service-free
+    # contexts; the service itself imports the parallel engine).
+    from repro.experiments.parallel import make_cell_executor
+    from repro.service import LanFigureJob, WanSweepJob, run_jobs
+
+    fig1c, sweep = run_jobs(
+        [LanFigureJob(config=lan_config), WanSweepJob(config=wan_config)],
+        executor=make_cell_executor(jobs),
+        metrics=metrics,
+    )
+    return fig1c, sweep
 
 
 def _write_metrics_dir(
@@ -362,6 +429,7 @@ def _write_metrics_dir(
         charts=args.charts,
         faults=args.faults,
         check=args.check,
+        serve=args.serve,
         out=args.out,
         cache=not args.no_cache,
         wan_config=wan_config,

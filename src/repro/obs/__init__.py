@@ -12,6 +12,16 @@ that measurement a first-class object for the reproduction itself:
   manifest (config, seeds, package version), so any run can be replayed
   and diffed.  :data:`NULL_RECORDER` is the disabled twin.
 
+Instrument families, by prefix: ``transport.*`` (sends, deliveries,
+latency, drops by cause), ``sync.*`` (round starts, jumps, timeouts,
+sync error), ``omega.*`` (suspicions, leader changes), ``faults.*``
+(activations), ``check.*`` (invariant violations), ``sweep.*`` and
+``run.*`` (per-cell/per-phase timing, cache hit rates, worker
+utilization), and ``service.*`` (the sweep service,
+:mod:`repro.service`: submissions, per-class queue depths,
+wait/service-time histograms, dedup hits, admission rejections by
+reason, cells executed, worker utilization).
+
 Everything here is stdlib-only; no instrumented module pays more than a
 method call on a singleton when telemetry is disabled.
 """

@@ -1,0 +1,115 @@
+"""Executor seam of the sweep service.
+
+The service schedules *cells* onto a :class:`CellExecutor` — the
+pluggable backend extracted from the sweep engine
+(:mod:`repro.experiments.parallel`), re-exported here as the service's
+execution surface:
+
+- :class:`SerialCellExecutor` — in-process, inline (debugging, CLI
+  ``--jobs 1``).
+- :class:`ThreadCellExecutor` — in-process, concurrent; the service
+  default (shares the trace cache without pickling, keeps the event
+  loop responsive).
+- :class:`ProcessCellExecutor` — one worker process per slot, trace
+  cache inherited via the pool initializer.
+- :class:`StubCellExecutor` (defined here) — the injectable seam for
+  tests and for a future multi-host transport: submissions are either
+  routed through a caller-supplied ``transport`` callable (ship the
+  task, return the wire result) or parked for manual, deterministic
+  completion.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any, Callable, Optional
+
+from repro.experiments.parallel import (
+    CellExecutor,
+    CellOutcome,
+    ProcessCellExecutor,
+    SerialCellExecutor,
+    ThreadCellExecutor,
+    make_cell_executor,
+)
+
+__all__ = [
+    "CellExecutor",
+    "CellOutcome",
+    "ProcessCellExecutor",
+    "SerialCellExecutor",
+    "StubCellExecutor",
+    "ThreadCellExecutor",
+    "make_cell_executor",
+]
+
+
+class StubCellExecutor(CellExecutor):
+    """An injectable executor that never computes on its own.
+
+    Two modes:
+
+    - **Transport mode** (``transport`` given): ``submit`` calls
+      ``transport(task, arg)`` synchronously and resolves the future
+      with its return value — the seam a multi-host backend plugs into
+      (serialize the task, run it remotely, return the wire result).
+    - **Manual mode** (default): ``submit`` parks ``(task, arg)`` on
+      :attr:`pending` and returns an unresolved future; the owner
+      drives completion with :meth:`run_next` / :meth:`run_all` (which
+      compute ``task(arg)`` inline) or :meth:`fail_next`.  This gives
+      tests deterministic control over completion order and lets them
+      observe exactly what the scheduler dispatched, and when.
+
+    ``submitted`` counts every submission ever made, so "exactly one
+    computation for N identical jobs" is directly checkable.
+    """
+
+    inline = False
+
+    def __init__(
+        self,
+        workers: int = 2,
+        transport: Optional[Callable[[Callable[[Any], Any], Any], Any]] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self._transport = transport
+        #: Parked submissions, oldest first: ``(task, arg, future)``.
+        self.pending: list[tuple[Callable[[Any], Any], Any, Future]] = []
+        #: Total submissions ever made.
+        self.submitted = 0
+
+    def submit(self, task: Callable[[Any], Any], arg: Any) -> Future:
+        self.submitted += 1
+        future: Future = Future()
+        if self._transport is not None:
+            try:
+                future.set_result(self._transport(task, arg))
+            except BaseException as exc:
+                future.set_exception(exc)
+        else:
+            self.pending.append((task, arg, future))
+        return future
+
+    def run_next(self, index: int = 0) -> Any:
+        """Compute and resolve the pending submission at ``index``."""
+        task, arg, future = self.pending.pop(index)
+        try:
+            result = task(arg)
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        future.set_result(result)
+        return result
+
+    def run_all(self) -> int:
+        """Compute every currently pending submission; returns the count."""
+        count = 0
+        while self.pending:
+            self.run_next()
+            count += 1
+        return count
+
+    def fail_next(self, exc: BaseException, index: int = 0) -> None:
+        """Resolve the pending submission at ``index`` with ``exc``."""
+        _task, _arg, future = self.pending.pop(index)
+        future.set_exception(exc)

@@ -1,0 +1,246 @@
+"""Typed job specs for the sweep service.
+
+A :class:`JobSpec` is one client request — a WAN sweep, the LAN figure,
+a robustness study, or a single interactive decision query — expressed
+as independent cell tasks plus an assembly step:
+
+- :meth:`JobSpec.cells` returns picklable ``(task, args)`` pairs (the
+  engine's cells-as-tasks surface, :mod:`repro.experiments.parallel`),
+  each a pure function of its arguments.  Cells are the scheduling
+  unit: a paper-scale sweep is hundreds of short tasks, so an
+  interactive query never waits behind more than one in-flight cell
+  per worker.
+- :meth:`JobSpec.assemble` rebuilds the request's artifact from the
+  serial-order cell results on the scheduler thread.  Because cells and
+  assembly are exactly the engine's own, a service-returned result is
+  bit-identical to the direct engine call.
+- :meth:`JobSpec.key` is a content hash over every result-determining
+  parameter (the :func:`repro.experiments.cache.content_key`
+  discipline, shared with the trace cache), which is what makes
+  in-flight dedup sound: equal keys imply bit-identical results.
+
+Priority classes: :attr:`Priority.INTERACTIVE` jobs are dispatched
+before :attr:`Priority.BATCH` jobs whenever both have runnable cells.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.cache import cached_trace, content_key
+from repro.experiments.config import QUICK, QUICK_LAN, SweepConfig
+from repro.experiments.decision import DecisionStats, decision_stats
+from repro.experiments.figures import FigureSeries, WanSweep
+from repro.experiments.measurement import timely_matrices
+from repro.experiments.parallel import (
+    CellOutcome,
+    _profiled,
+    assemble_lan_figure,
+    assemble_wan_sweep,
+    lan_cell_tasks,
+    rows_from_flat,
+    wan_cell_tasks,
+)
+from repro.net.planetlab import LEADER_NODE
+
+#: Version tag folded into every job key: bump when a job type's
+#: computation changes so "identical request" never spans the change.
+JOB_KEY_VERSION = "v1"
+
+#: One schedulable unit of work: a picklable task plus its argument.
+CellTask = tuple[Callable[[Any], CellOutcome], Any]
+
+
+class Priority(enum.Enum):
+    """Admission/dispatch class of a job."""
+
+    INTERACTIVE = "interactive"
+    BATCH = "batch"
+
+
+def _config_params(config: SweepConfig) -> dict[str, object]:
+    """The result-determining fields of a sweep config, for job keys."""
+    return {
+        "n": config.n,
+        "rounds_per_run": config.rounds_per_run,
+        "runs": config.runs,
+        "start_points": config.start_points,
+        "timeouts": tuple(config.timeouts),
+        "seed": config.seed,
+    }
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Base class of one typed service request.
+
+    Subclasses carry their parameters as frozen dataclass fields and
+    implement :meth:`key`, :meth:`cells` and :meth:`assemble`.
+    """
+
+    def key(self) -> str:
+        """Content hash identifying this request's full parameter set."""
+        raise NotImplementedError
+
+    def cells(self) -> Sequence[CellTask]:
+        """The request as independent, picklable cell tasks."""
+        raise NotImplementedError
+
+    def assemble(self, results: Sequence[Any]) -> Any:
+        """Rebuild the request's artifact from serial-order cell results."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class WanSweepJob(JobSpec):
+    """A full WAN measurement sweep (Section 5.3); resolves to a
+    :class:`~repro.experiments.figures.WanSweep`."""
+
+    config: SweepConfig = QUICK
+    leader: int = LEADER_NODE
+    priority: Priority = Priority.BATCH
+
+    def key(self) -> str:
+        return content_key(
+            "job:wan_sweep",
+            JOB_KEY_VERSION,
+            leader=self.leader,
+            **_config_params(self.config),
+        )
+
+    def cells(self) -> Sequence[CellTask]:
+        return wan_cell_tasks(self.config)
+
+    def assemble(self, results: Sequence[Any]) -> WanSweep:
+        return assemble_wan_sweep(
+            self.config, self.leader, rows_from_flat(results, self.config)
+        )
+
+
+@dataclass(frozen=True)
+class LanFigureJob(JobSpec):
+    """The LAN measurement figure (Section 5.2); resolves to the
+    figure 1(c) :class:`~repro.experiments.figures.FigureSeries`."""
+
+    config: SweepConfig = QUICK_LAN
+    priority: Priority = Priority.BATCH
+
+    def key(self) -> str:
+        return content_key(
+            "job:lan_figure", JOB_KEY_VERSION, **_config_params(self.config)
+        )
+
+    def cells(self) -> Sequence[CellTask]:
+        return lan_cell_tasks(self.config)
+
+    def assemble(self, results: Sequence[Any]) -> FigureSeries:
+        return assemble_lan_figure(
+            self.config, rows_from_flat(results, self.config)
+        )
+
+
+def _decision_cell(
+    config: SweepConfig, t_index: int, r_index: int, model: str
+) -> DecisionStats:
+    """One decision query, computed exactly as the WAN figures do.
+
+    Same trace (via the cache), same matrices, same content-derived
+    decision RNG as :func:`repro.experiments.figures._decision_series` —
+    so a served answer is bit-identical to the figure pipeline's value
+    for the same cell.
+    """
+    timeout = config.timeouts[t_index]
+    seed = config.run_seed(t_index, r_index)
+    trace = cached_trace(
+        "wan", config.n, config.rounds_per_run, timeout, seed
+    )
+    matrices = timely_matrices(trace, timeout)
+    leader = LEADER_NODE if model in ("LM", "WLM") else None
+    rng = np.random.default_rng(
+        config.run_seed(t_index, r_index, purpose="decision")
+    )
+    return decision_stats(
+        matrices,
+        model,
+        round_length=timeout,
+        start_points=config.start_points,
+        leader=leader,
+        rng=rng,
+    )
+
+
+def decision_task(args: tuple[SweepConfig, int, int, str]) -> CellOutcome:
+    """Picklable cell task wrapping :func:`_decision_cell`."""
+    return _profiled(lambda: _decision_cell(*args))
+
+
+@dataclass(frozen=True)
+class DecisionQuery(JobSpec):
+    """One interactive decision-latency query: rounds/time to global
+    decision for ``model`` on one (timeout, run) cell; resolves to a
+    :class:`~repro.experiments.decision.DecisionStats`."""
+
+    config: SweepConfig = QUICK
+    t_index: int = 0
+    r_index: int = 0
+    model: str = "WLM"
+    priority: Priority = Priority.INTERACTIVE
+
+    def key(self) -> str:
+        return content_key(
+            "job:decision",
+            JOB_KEY_VERSION,
+            t_index=self.t_index,
+            r_index=self.r_index,
+            model=self.model,
+            **_config_params(self.config),
+        )
+
+    def cells(self) -> Sequence[CellTask]:
+        return [
+            (
+                decision_task,
+                (self.config, self.t_index, self.r_index, self.model),
+            )
+        ]
+
+    def assemble(self, results: Sequence[Any]) -> DecisionStats:
+        return results[0]
+
+
+@dataclass(frozen=True)
+class RobustnessJob(JobSpec):
+    """The fault-robustness study: a WAN sweep's cells plus the
+    robustness report as the assembly step; resolves to the rendered
+    report string (see :mod:`repro.experiments.robustness`)."""
+
+    config: SweepConfig = QUICK
+    seed: int = 0
+    leader: int = LEADER_NODE
+    priority: Priority = Priority.BATCH
+
+    def key(self) -> str:
+        return content_key(
+            "job:robustness",
+            JOB_KEY_VERSION,
+            fault_seed=self.seed,
+            leader=self.leader,
+            **_config_params(self.config),
+        )
+
+    def cells(self) -> Sequence[CellTask]:
+        return wan_cell_tasks(self.config)
+
+    def assemble(self, results: Sequence[Any]) -> str:
+        # Imported here: robustness pulls in the figure/decision stack,
+        # which not every service deployment needs at import time.
+        from repro.experiments.robustness import robustness_report
+
+        sweep = assemble_wan_sweep(
+            self.config, self.leader, rows_from_flat(results, self.config)
+        )
+        return robustness_report(sweep=sweep, seed=self.seed)

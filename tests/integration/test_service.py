@@ -1,0 +1,136 @@
+"""Integration tests for the sweep service over real executors.
+
+The contract under test: a service-returned artifact is **bit-identical**
+to the direct engine call for every job type, on the in-process thread
+executor (the service default) and through the synchronous
+:func:`repro.service.run_jobs` client — including with a shared trace
+cache in the loop.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.experiments import cache as cache_module
+from repro.experiments.config import SweepConfig
+from repro.experiments.figures import figure_1c, run_wan_sweep
+from repro.experiments.robustness import robustness_report
+from repro.obs.registry import MetricsRegistry
+from repro.service import (
+    DecisionQuery,
+    LanFigureJob,
+    RobustnessJob,
+    SweepService,
+    ThreadCellExecutor,
+    WanSweepJob,
+    run_jobs,
+)
+from repro.service.jobs import _decision_cell
+
+TINY = SweepConfig(
+    rounds_per_run=30, runs=2, start_points=3, timeouts=(0.16, 0.21), seed=11
+)
+TINY_LAN = SweepConfig(
+    rounds_per_run=30, runs=2, start_points=3,
+    timeouts=(0.0002, 0.0009), seed=5,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_global_cache():
+    cache_module.deactivate()
+    yield
+    cache_module.deactivate()
+
+
+def assert_stats_identical(a, b):
+    """DecisionStats equality that treats NaN == NaN (censored cells)."""
+    assert a.samples == b.samples
+    assert a.censored == b.censored
+    assert np.array_equal(a.mean_rounds, b.mean_rounds, equal_nan=True)
+    assert np.array_equal(a.mean_time, b.mean_time, equal_nan=True)
+
+
+def assert_sweeps_identical(a, b):
+    assert a.leader == b.leader
+    assert list(a.runs) == list(b.runs)
+    for timeout in a.runs:
+        for run_a, run_b in zip(a.runs[timeout], b.runs[timeout]):
+            assert run_a.p == run_b.p
+            assert run_a.matrices.dtype == run_b.matrices.dtype
+            assert np.array_equal(run_a.matrices, run_b.matrices)
+
+
+class TestServiceResultsMatchDirectEngine:
+    def test_all_job_types_bit_identical_over_threads(self):
+        metrics = MetricsRegistry()
+        sweep, figure, stats, robustness = run_jobs(
+            [
+                WanSweepJob(config=TINY),
+                LanFigureJob(config=TINY_LAN),
+                DecisionQuery(config=TINY, t_index=0, r_index=1, model="WLM"),
+                RobustnessJob(config=TINY, seed=3),
+            ],
+            workers=2,
+            metrics=metrics,
+        )
+        assert_sweeps_identical(run_wan_sweep(TINY), sweep)
+
+        direct_figure = figure_1c(TINY_LAN)
+        assert figure.x == direct_figure.x
+        assert figure.series == direct_figure.series
+        assert figure.notes == direct_figure.notes
+
+        assert_stats_identical(stats, _decision_cell(TINY, 0, 1, "WLM"))
+
+        direct_report = robustness_report(sweep=run_wan_sweep(TINY), seed=3)
+        assert robustness == direct_report
+
+        # The telemetry saw all four jobs complete.
+        assert metrics.value(
+            "service.jobs", **{"class": "batch", "state": "completed"}
+        ) == 3
+        assert metrics.value(
+            "service.jobs", **{"class": "interactive", "state": "completed"}
+        ) == 1
+
+    def test_service_shares_the_trace_cache(self, tmp_path):
+        """A service run warms the cache; a second run (and the direct
+        engine) resimulate nothing."""
+        cache = cache_module.activate(tmp_path)
+        run_jobs([WanSweepJob(config=TINY)], workers=2)
+        misses_after_cold = cache.misses
+        assert misses_after_cold == len(TINY.timeouts) * TINY.runs
+        run_jobs([WanSweepJob(config=TINY)], workers=2)
+        assert cache.misses == misses_after_cold  # warm: hits only
+        assert cache.hits >= len(TINY.timeouts) * TINY.runs
+
+    def test_concurrent_distinct_jobs_over_threads(self):
+        """Many distinct jobs in flight at once, all correct."""
+
+        async def go():
+            async with SweepService(
+                executor=ThreadCellExecutor(4)
+            ) as service:
+                handles = [
+                    service.submit(
+                        DecisionQuery(
+                            config=TINY, t_index=t, r_index=r, model=model
+                        )
+                    )
+                    for t in range(2)
+                    for r in range(2)
+                    for model in ("AFM", "WLM")
+                ]
+                return [await handle.result() for handle in handles]
+
+        results = asyncio.run(go())
+        expected = [
+            _decision_cell(TINY, t, r, model)
+            for t in range(2)
+            for r in range(2)
+            for model in ("AFM", "WLM")
+        ]
+        for got, want in zip(results, expected):
+            assert_stats_identical(got, want)

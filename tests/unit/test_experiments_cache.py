@@ -111,3 +111,37 @@ class TestCachedTrace:
     def test_unknown_profile_rejected(self):
         with pytest.raises(KeyError):
             cached_trace("martian", 8, 5, 0.2, seed=1)
+
+    def test_mismatched_n_rejected(self, tmp_path):
+        """Regression: ``n`` is hashed into the key but the profile
+        samplers draw their own fixed node count, so ``n=9`` used to
+        mint a distinct cache entry silently holding an 8-node trace."""
+        cache = TraceCache(tmp_path)
+        with pytest.raises(ValueError, match="n=9"):
+            cached_trace("wan", 9, 5, 0.2, seed=1, cache=cache)
+        assert cache.entries() == 0  # nothing mislabeled was stored
+        # No cache in the loop: still rejected.
+        with pytest.raises(ValueError, match="n=9"):
+            cached_trace("lan", 9, 5, 0.001, seed=1)
+        # The profile's true size passes, both cold and warm.
+        cold = cached_trace("wan", 8, 5, 0.2, seed=1, cache=cache)
+        warm = cached_trace("wan", 8, 5, 0.2, seed=1, cache=cache)
+        assert np.array_equal(cold, warm)
+
+
+class TestContentKey:
+    def test_deterministic_and_order_insensitive(self):
+        from repro.experiments.cache import content_key
+
+        assert content_key("job", "v1", a=1, b=2.5) == content_key(
+            "job", "v1", b=2.5, a=1
+        )
+
+    def test_sensitive_to_kind_version_and_every_param(self):
+        from repro.experiments.cache import content_key
+
+        base = content_key("job", "v1", a=1, b=2.5)
+        assert content_key("other", "v1", a=1, b=2.5) != base
+        assert content_key("job", "v2", a=1, b=2.5) != base
+        assert content_key("job", "v1", a=2, b=2.5) != base
+        assert content_key("job", "v1", a=1, b=2.5 + 1e-12) != base

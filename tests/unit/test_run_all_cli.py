@@ -117,6 +117,90 @@ class TestMain:
         assert unflushed == []
 
 
+class TestMonotonicTiming:
+    """Regression: elapsed times were measured with ``time.time()``,
+    which the fault subsystem's clock steps (and NTP) can move — a
+    backwards step reported negative durations and absurd throughput.
+    All CLI timing must ride ``time.perf_counter``."""
+
+    def test_phase_progress_survives_a_backwards_clock_step(
+        self, monkeypatch, capsys
+    ):
+        import time as time_module
+
+        import repro.experiments.run_all as run_all_module
+
+        # A wall clock that leaps 1000 s backwards between construction
+        # and the summary line; perf_counter is untouched.
+        wall = iter([1_000_000.0] + [999_000.0] * 50)
+        monkeypatch.setattr(time_module, "time", lambda: next(wall))
+
+        progress = run_all_module._PhaseProgress("stepped")
+        progress.finish(cells=4)
+        out = capsys.readouterr().out
+        assert " in -" not in out  # no negative elapsed time
+        assert "stepped: 4 cells in " in out
+
+    def test_main_summary_survives_a_backwards_clock_step(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import time as time_module
+
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=40, runs=1, start_points=2,
+            timeouts=(0.21,), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny)
+
+        wall = [1_000_000.0]
+
+        def stepping_clock():
+            wall[0] -= 50.0  # every look at the wall clock steps back
+            return wall[0]
+
+        monkeypatch.setattr(time_module, "time", stepping_clock)
+        assert main(["--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "done in -" not in out
+        assert " in -" not in out
+
+
+class TestServeFlag:
+    def test_serve_artifacts_byte_identical_to_direct(
+        self, tmp_path, monkeypatch
+    ):
+        """``--serve`` routes the sweeps through the service layer; every
+        figure file must come out byte-identical to the direct path."""
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=60, runs=2, start_points=3,
+            timeouts=(0.16, 0.21), seed=1,
+        )
+        tiny_lan = SweepConfig(
+            rounds_per_run=40, runs=2, start_points=3,
+            timeouts=(0.0002, 0.0009), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny_lan)
+
+        direct_out = tmp_path / "direct"
+        served_out = tmp_path / "served"
+        assert main(["--out", str(direct_out)]) == 0
+        assert main(["--out", str(served_out), "--serve"]) == 0
+        for name in (
+            "fig1c", "fig1d", "fig1e", "fig1f", "fig1g", "fig1h", "fig1i"
+        ):
+            direct = (direct_out / f"{name}.txt").read_bytes()
+            served = (served_out / f"{name}.txt").read_bytes()
+            assert direct == served, name
+
+
 class TestMetricsFlag:
     def _tiny_configs(self, monkeypatch):
         import repro.experiments.run_all as run_all_module
