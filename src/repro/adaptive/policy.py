@@ -1,0 +1,185 @@
+"""Switching policies: the extractor's estimates, applied between slots.
+
+An SMR deployment cannot change consensus algorithm mid-instance — a
+round-3 WLM message means nothing to an AFM process.  Between instances
+it can: each log slot is a fresh consensus run, so slot boundaries are
+the natural switching points.  :class:`AdaptivePolicy` plugs into
+:class:`repro.smr.ReplicaGroup`'s policy hook; at the start of every slot
+the group asks it to reconsider, and the policy consults its
+:class:`~repro.adaptive.extractor.TimelinessExtractor` — switching model,
+timeout and leader only when the estimated improvement clears a margin
+and the current configuration has been given a minimum dwell, so one
+noisy window does not thrash the stack.
+
+:class:`FixedPolicy` is the degenerate baseline (never reconsiders);
+:class:`PolicyOracle` adapts either into the Ω interface the leader-based
+algorithms query (leaderless algorithms ignore it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.adaptive.extractor import ModelEstimate, TimelinessExtractor
+from repro.consensus import AfmConsensus, EsConsensus, LmConsensus
+from repro.core import WlmConsensus
+from repro.giraf.oracle import Oracle
+from repro.obs.registry import MetricsRegistry, registry_or_null
+
+#: The fastest implemented algorithm per model condition.
+ALGORITHMS = {
+    "ES": EsConsensus,
+    "LM": LmConsensus,
+    "WLM": WlmConsensus,
+    "AFM": AfmConsensus,
+}
+
+
+@dataclass(frozen=True)
+class Switch:
+    """One reconfiguration, for the audit trail."""
+
+    slot: int
+    model: str
+    timeout: float
+    leader: int
+    expected_time: float
+
+
+class FixedPolicy:
+    """A (model, timeout, leader) that never changes — the baselines."""
+
+    def __init__(self, model: str, timeout: float, leader: int = 0) -> None:
+        if model not in ALGORITHMS:
+            raise ValueError(f"unknown model {model!r}")
+        self.model = model
+        self.timeout = float(timeout)
+        self.leader = leader
+        self.switches: list[Switch] = []
+
+    @property
+    def algorithm_factory(self):
+        algorithm = ALGORITHMS[self.model]
+        return lambda pid, n, proposal: algorithm(pid, n, proposal)
+
+    def begin_slot(self, slot: int) -> None:  # noqa: ARG002 - interface
+        return None
+
+    def observe_slot(self, slot: int, outcome: Any) -> None:
+        return None
+
+
+class AdaptivePolicy(FixedPolicy):
+    """Reconsider the (model, timeout, leader) triple at slot boundaries.
+
+    Hysteresis, in order of application:
+
+    - the extractor must be :attr:`~TimelinessExtractor.ready` (a minimum
+      window of observed rounds);
+    - at least ``min_dwell`` slots must have run on the current
+      configuration since the last switch;
+    - the recommended cell must improve the estimated decision time by
+      more than ``margin`` (relative), or be the only configuration whose
+      conditions hold at all while the current one's never do.
+
+    A timeout change within the same model counts as a switch — it
+    reconfigures every replica's round pacing just as invasively.
+    """
+
+    def __init__(
+        self,
+        extractor: TimelinessExtractor,
+        model: str = "WLM",
+        timeout: Optional[float] = None,
+        leader: int = 0,
+        min_dwell: int = 3,
+        margin: float = 0.2,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if min_dwell < 1:
+            raise ValueError("min_dwell must be at least 1")
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        super().__init__(
+            model,
+            extractor.timeouts[0] if timeout is None else timeout,
+            leader,
+        )
+        self.extractor = extractor
+        self.min_dwell = min_dwell
+        self.margin = margin
+        self._slots_on_current = min_dwell  # free to switch immediately
+        self._metrics = registry_or_null(metrics)
+        self._switch_counter = self._metrics.counter("adaptive.switches")
+        # The extractor's boolean feed interprets deliveries against the
+        # timeout actually being run.
+        self.extractor.running_timeout = self.timeout
+
+    def _current_estimate(self) -> float:
+        """Estimated decision time of the configuration being run."""
+        for cell in self.extractor.estimates():
+            if cell.model == self.model and cell.timeout == self.timeout:
+                return cell.expected_time
+        return float("nan")
+
+    def begin_slot(self, slot: int) -> None:
+        self._slots_on_current += 1
+        if self._slots_on_current <= self.min_dwell:
+            return
+        recommended = self.extractor.recommend()
+        if recommended is None:
+            return
+        same = (
+            recommended.model == self.model
+            and recommended.timeout == self.timeout
+        )
+        if same:
+            # Re-aim the leader within the current configuration for free:
+            # Ω re-election is not a protocol reconfiguration.
+            if recommended.leader is not None:
+                self.leader = recommended.leader
+            return
+        current = self._current_estimate()
+        currently_viable = current == current  # not NaN
+        improves = (
+            not currently_viable
+            or recommended.expected_time < current * (1.0 - self.margin)
+        )
+        if not improves:
+            return
+        self._apply(slot, recommended)
+
+    def _apply(self, slot: int, cell: ModelEstimate) -> None:
+        self.model = cell.model
+        self.timeout = cell.timeout
+        if cell.leader is not None:
+            self.leader = cell.leader
+        self.extractor.running_timeout = self.timeout
+        self._slots_on_current = 0
+        self.switches.append(
+            Switch(
+                slot=slot,
+                model=cell.model,
+                timeout=cell.timeout,
+                leader=self.leader,
+                expected_time=cell.expected_time,
+            )
+        )
+        self._switch_counter.inc()
+        self._metrics.gauge("adaptive.timeout_seconds").set(self.timeout)
+
+
+class PolicyOracle(Oracle):
+    """Ω view of a policy: every query returns the policy's current leader.
+
+    The scenario's switching happens between instances, so within one
+    instance the output is stable — the eventual-leader property the
+    leader-based algorithms assume.
+    """
+
+    def __init__(self, policy: FixedPolicy) -> None:
+        self.policy = policy
+
+    def query(self, pid: int, round_number: int) -> int:  # noqa: ARG002
+        return self.policy.leader

@@ -72,11 +72,21 @@ def optimal_timeout(
 
     Operates on the discrete sweep grid the experiments produce (the paper
     reads its 170 ms / 210 ms optima off Figure 1(i) the same way).
+
+    NaN cells — a (model, timeout) that never produced a decision — are
+    skipped, not "won": ``np.argmin`` returns the index of a NaN when one
+    is present, which would crown a never-deciding timeout the optimum.
+    The online adaptive layer (:mod:`repro.adaptive`) feeds this function
+    live window estimates where such cells are routine.  Raises
+    ``ValueError`` when every cell is NaN (no timeout ever decided).
     """
     if len(timeouts) != len(decision_times) or not timeouts:
         raise ValueError("need matching, non-empty timeout/time sequences")
-    index = int(np.argmin(decision_times))
-    return float(timeouts[index]), float(decision_times[index])
+    times = np.asarray(decision_times, dtype=float)
+    if np.isnan(times).all():
+        raise ValueError("all decision times are NaN: no timeout ever decided")
+    index = int(np.nanargmin(times))
+    return float(timeouts[index]), float(times[index])
 
 
 def decision_time_curve(

@@ -28,6 +28,13 @@ network profiles with and without a fault plan, the
 Monte-Carlo-versus-closed-form cross-check, and the mutation self-test,
 all summarized in ``conformance.txt``.
 
+``--adaptive`` appends the online-selection phase (see
+:mod:`repro.adaptive`): the timeliness extractor and switching policy
+run a replicated KV workload under churn — clean, slow nodes, partition,
+heal — against every fixed (model, timeout) pair, and the comparison
+(mean decision latency, switches, invariant violations) lands in
+``adaptive.txt``.
+
 ``--metrics DIR`` profiles the pipeline: per-phase and per-cell timing,
 cache hit/miss rates and worker utilization land in ``DIR`` as a run
 manifest (``manifest.json``), a JSONL event timeline
@@ -49,6 +56,11 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro.adaptive import (
+    ScenarioConfig,
+    adaptive_report,
+    run_adaptive_scenario,
+)
 from repro.analysis import expected_decision_rounds, find_crossover
 from repro.check import conformance_report, run_conformance
 from repro.experiments import cache as trace_cache
@@ -216,6 +228,14 @@ def main(argv: list[str] | None = None) -> int:
         "and the mutation self-test; writes conformance.txt",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="also run the adaptive model-selection scenario: the online "
+        "timeliness extractor and switching policy under churn (slow "
+        "nodes, partition, heal) against every fixed (model, timeout) "
+        "pair; writes adaptive.txt",
+    )
+    parser.add_argument(
         "--serve",
         action="store_true",
         help="route the LAN/WAN sweeps through the repro.service job "
@@ -261,7 +281,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  wrote {args.out / name}.txt", flush=True)
 
     start = time.perf_counter()
-    phases = str(4 + int(args.faults) + int(args.check))
+    phases = str(
+        4 + int(args.faults) + int(args.check) + int(args.adaptive)
+    )
     print(f"[1/{phases}] analysis figures (Section 4.2)", flush=True)
     with profile.phase("analysis"):
         emit("fig1a", figure_1a(), y_log=True)
@@ -330,11 +352,13 @@ def main(argv: list[str] | None = None) -> int:
         emit("fig1h", figure_1h(sweep=sweep))
         emit("fig1i", figure_1i(sweep=sweep))
 
+    next_phase = 5
     if args.faults:
         # Reuses the sweep already in memory (and therefore the trace
         # cache): the fault masks are applied to the cached matrices, so
         # this phase simulates nothing new.
-        print(f"[5/{phases}] fault robustness", flush=True)
+        print(f"[{next_phase}/{phases}] fault robustness", flush=True)
+        next_phase += 1
         with profile.phase("faults"):
             (args.out / "faults.txt").write_text(
                 robustness_report(sweep=sweep, seed=wan_config.seed) + "\n"
@@ -342,11 +366,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  wrote {args.out / 'faults.txt'}", flush=True)
 
     if args.check:
-        index = 6 if args.faults else 5
         print(
-            f"[{index}/{phases}] conformance check (differential validation)",
+            f"[{next_phase}/{phases}] conformance check "
+            "(differential validation)",
             flush=True,
         )
+        next_phase += 1
         with profile.phase("check"):
             conformance = run_conformance(
                 seed=wan_config.seed,
@@ -359,6 +384,29 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  wrote {args.out / 'conformance.txt'} "
             f"({'PASS' if conformance.ok else 'FAIL'})",
+            flush=True,
+        )
+
+    if args.adaptive:
+        # Independent of the sweep: the scenario samples its own base
+        # trace and derives all randomness from its own config seed, so
+        # the artifact is identical whatever phases ran before it.
+        print(
+            f"[{next_phase}/{phases}] adaptive model selection under churn",
+            flush=True,
+        )
+        next_phase += 1
+        with profile.phase("adaptive"):
+            comparison = run_adaptive_scenario(
+                ScenarioConfig(), metrics=metrics
+            )
+            (args.out / "adaptive.txt").write_text(
+                adaptive_report(comparison) + "\n"
+            )
+        print(
+            f"  wrote {args.out / 'adaptive.txt'} "
+            f"(regret {comparison.regret_seconds:+.2f}s, "
+            f"{comparison.total_violations} violations)",
             flush=True,
         )
 
@@ -429,6 +477,7 @@ def _write_metrics_dir(
         charts=args.charts,
         faults=args.faults,
         check=args.check,
+        adaptive=args.adaptive,
         serve=args.serve,
         out=args.out,
         cache=not args.no_cache,

@@ -63,6 +63,15 @@ def _format_ms(seconds: float) -> str:
     return f"{ms:.0f} ms" if ms >= 10 else f"{ms:.2f} ms"
 
 
+def _format_ratio(value: float) -> str:
+    """A dimensionless quantity (e.g. ``P_M``), NaN-aware like
+    :func:`_format_ms`: a model that never decided reports ``—``, not a
+    literal ``nan`` leaking out of ``%.2f``."""
+    if value != value:  # NaN
+        return "—"
+    return f"{value:.2f}"
+
+
 @dataclass(frozen=True)
 class ModelReport:
     """One model's sweep outcome.
@@ -105,9 +114,10 @@ class Recommendation:
                 continue
             timeout = _format_ms(report.optimal_timeout)
             best = _format_ms(report.best_decision_time)
+            satisfaction = _format_ratio(report.satisfaction_at_best)
             lines.append(
                 f"{model:<6}{timeout:>12}{best:>12}"
-                f"{report.satisfaction_at_best:>8.2f}"
+                f"{satisfaction:>8}"
                 f"{report.message_complexity:>12}"
             )
         lines.append("")

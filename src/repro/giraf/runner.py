@@ -87,9 +87,13 @@ class LockstepRunner:
 
     ``observers`` (e.g. a :class:`repro.check.invariants.InvariantSuite`)
     may implement any subset of ``on_proposal(pid, value)``,
-    ``on_oracle(pid, round, output)`` and
-    ``on_decision(pid, round, value)``; decisions are re-reported every
+    ``on_oracle(pid, round, output)``,
+    ``on_decision(pid, round, value)`` and
+    ``on_round_matrix(round, delivered)``; decisions are re-reported every
     round while latched so integrity checkers can see value changes.
+    ``on_round_matrix`` fires live, right where an implementable oracle's
+    ``observe`` sees the round's deliveries — the seam timeliness
+    extractors (:mod:`repro.adaptive`) tap without being an oracle.
     """
 
     def __init__(
@@ -210,6 +214,7 @@ class LockstepRunner:
             observe = getattr(self.oracle, "observe", None)
             if observe is not None:
                 observe(k, delivered)
+            self._notify("on_round_matrix", k, delivered)
 
             # End-of-round computations.
             for proc in self._alive_for_compute(k):

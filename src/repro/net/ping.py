@@ -48,6 +48,23 @@ def measure_latency_table(
     return table
 
 
+def _loss_penalty(rtt: np.ndarray, off_diag: np.ndarray) -> float:
+    """The RTT charged for a dead (infinite) link when scoring nodes.
+
+    Twice the worst *finite* round-trip time in the table: strictly worse
+    than any measured link, so losing a link always costs, but finite, so
+    one dead link does not erase a node's measured connectivity.  With no
+    finite off-diagonal entry at all (a fully partitioned measurement)
+    the penalty is 1.0 — every node then scores identically and the
+    selection degenerates to node 0, which is the honest answer when the
+    pings saw no connectivity to compare.
+    """
+    finite = rtt[off_diag & np.isfinite(rtt)]
+    if finite.size == 0:
+        return 1.0
+    return float(2.0 * finite.max())
+
+
 def select_leader(latency_table: np.ndarray, method: str = "mean_rtt") -> int:
     """Choose a well-connected node from a measured latency table.
 
@@ -56,19 +73,34 @@ def select_leader(latency_table: np.ndarray, method: str = "mean_rtt") -> int:
         the others (the paper's criterion: a "well-connected node").
         ``"minimax_rtt"`` — the node minimizing its worst round-trip time.
         ``"median"`` — the node of *median* connectivity, used to pick the
-        deliberately average leader of the Section 5.2 comparison.
+        deliberately average leader of the Section 5.2 comparison.  For
+        even ``n`` this is explicitly the *upper* median (rank ``n // 2``
+        of the ``0``-based connectivity order): with no middle node, the
+        comparison wants the leader biased toward "average or worse", not
+        toward the well-connected half.
+
+    Lost links: :func:`measure_latency_table` reports ``+inf`` for a link
+    that lost most of its pings, so under a measurement-time partition a
+    node's RTT row contains infinities.  Scoring the raw mean would make
+    *every* node with one dead link score ``inf`` and leave ``argmin`` to
+    tie-break them all to node 0 — an arbitrary "well-connected" leader.
+    Instead each dead link is charged a finite loss penalty (twice the
+    worst measured RTT, see :func:`_loss_penalty`), so nodes are ranked
+    by measured latency first and by how many peers they can actually
+    reach second.
     """
     n = latency_table.shape[0]
     rtt = latency_table + latency_table.T
     off_diag = ~np.eye(n, dtype=bool)
+    penalized = np.where(np.isfinite(rtt), rtt, _loss_penalty(rtt, off_diag))
     if method == "mean_rtt":
-        scores = np.array([rtt[i][off_diag[i]].mean() for i in range(n)])
+        scores = np.array([penalized[i][off_diag[i]].mean() for i in range(n)])
         return int(np.argmin(scores))
     if method == "minimax_rtt":
-        scores = np.array([rtt[i][off_diag[i]].max() for i in range(n)])
+        scores = np.array([penalized[i][off_diag[i]].max() for i in range(n)])
         return int(np.argmin(scores))
     if method == "median":
-        scores = np.array([rtt[i][off_diag[i]].mean() for i in range(n)])
+        scores = np.array([penalized[i][off_diag[i]].mean() for i in range(n)])
         order = np.argsort(scores)
-        return int(order[n // 2])
+        return int(order[n // 2])  # upper median when n is even
     raise ValueError(f"unknown leader-selection method {method!r}")

@@ -20,7 +20,10 @@ sync error), ``omega.*`` (suspicions, leader changes), ``faults.*``
 utilization), and ``service.*`` (the sweep service,
 :mod:`repro.service`: submissions, per-class queue depths,
 wait/service-time histograms, dedup hits, admission rejections by
-reason, cells executed, worker utilization).
+reason, cells executed, worker utilization), and ``adaptive.*`` (online
+model selection, :mod:`repro.adaptive`: window size, rounds observed,
+per-model decision-time estimates, switches, the running timeout, and
+regret versus the best fixed configuration).
 
 Everything here is stdlib-only; no instrumented module pays more than a
 method call on a singleton when telemetry is disabled.

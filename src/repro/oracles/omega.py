@@ -92,10 +92,26 @@ class HeartbeatOmega(Oracle):
             self._suspicions_cleared.inc(cleared)
         self._suspected = suspected
 
+    def alive(self, pid: int, round_number: int) -> np.ndarray:
+        """Mask of processes inside ``pid``'s trust window at ``round_number``.
+
+        This is the window :meth:`trusted` selects from; it must be the
+        exact complement of :meth:`suspected` at every round, or trust
+        and suspicion accounting drift apart at the window boundary.
+        """
+        return self._last_heard[pid] >= round_number - self.suspicion_rounds
+
+    def suspected(self, pid: int, round_number: int) -> np.ndarray:
+        """Mask of processes outside ``pid``'s window at ``round_number``.
+
+        The same windowed comparison :meth:`observe` uses for the
+        suspicion metrics, exposed per-process for inspection and tests.
+        """
+        return self._last_heard[pid] < (round_number - self.suspicion_rounds)
+
     def trusted(self, pid: int, round_number: int) -> int:
         """The smallest-id process ``pid`` heard within the suspicion window."""
-        horizon = round_number - self.suspicion_rounds
-        alive = np.flatnonzero(self._last_heard[pid] >= horizon)
+        alive = np.flatnonzero(self.alive(pid, round_number))
         if alive.size == 0:
             return pid  # heard nobody recently — trust self
         return int(alive[0])

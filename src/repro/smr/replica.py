@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
+from repro.check.invariants import InvariantSuite, RunView, Violation
 from repro.giraf.kernel import GirafAlgorithm
 from repro.giraf.oracle import Oracle
 from repro.giraf.runner import LockstepRunner
@@ -49,7 +50,28 @@ ScheduleFactory = Callable[[int], Schedule]
 
 
 class ReplicaGroup:
-    """``n`` replicas, each with a pending-command queue and a state machine."""
+    """``n`` replicas, each with a pending-command queue and a state machine.
+
+    Optional hooks:
+
+    - ``policy`` (e.g. :class:`repro.adaptive.AdaptivePolicy`): consulted
+      at the start of every slot via ``policy.begin_slot(slot)``; while a
+      policy is installed its ``algorithm_factory`` attribute is used in
+      place of the group's own, so the consensus algorithm (and, through
+      the policy's schedule/oracle collaborators, the timeout and leader)
+      can change *between* instances — never within one.  After the slot,
+      ``policy.observe_slot(slot, outcome)`` sees the raw
+      :class:`~repro.giraf.runner.RunResult`.
+    - ``observers``: attached to every slot's lockstep runner (the usual
+      ``on_proposal``/``on_oracle``/``on_decision``/``on_round_matrix``
+      hooks), e.g. a timeliness extractor watching delivery matrices.
+    - ``invariant_factory``: builds a *fresh*
+      :class:`repro.check.InvariantSuite` per slot (one suite across
+      slots would flag different slots' different decisions as an
+      agreement violation); each suite is attached as a runner observer,
+      finished on the slot's result, and its findings accumulate in
+      :attr:`violations` — the safety net across switch boundaries.
+    """
 
     def __init__(
         self,
@@ -59,6 +81,9 @@ class ReplicaGroup:
         schedule_factory: ScheduleFactory,
         state_machine_factory: Callable[[], StateMachine],
         max_rounds_per_instance: int = 200,
+        policy: Optional[Any] = None,
+        observers: Sequence[Any] = (),
+        invariant_factory: Optional[Callable[[int], InvariantSuite]] = None,
     ) -> None:
         if n < 2:
             raise ValueError("need at least 2 replicas")
@@ -67,6 +92,10 @@ class ReplicaGroup:
         self.oracle = oracle
         self.schedule_factory = schedule_factory
         self.max_rounds_per_instance = max_rounds_per_instance
+        self.policy = policy
+        self.observers = list(observers)
+        self.invariant_factory = invariant_factory
+        self.violations: list[Violation] = []
         self.log = ReplicatedLog()
         self.machines = [state_machine_factory() for _ in range(n)]
         self.pending: list[deque[Command]] = [deque() for _ in range(n)]
@@ -110,18 +139,38 @@ class ReplicaGroup:
         replica's state machine; the proposer that owned it dequeues it.
         """
         slot = self.log.next_slot
+        if self.policy is not None:
+            # The one legal reconfiguration point: no instance is running.
+            self.policy.begin_slot(slot)
+        factory = (
+            self.policy.algorithm_factory
+            if self.policy is not None
+            else self.algorithm_factory
+        )
         proposals = [self._proposal_for(pid, slot) for pid in range(self.n)]
         schedule = self.schedule_factory(slot)
+        suite = (
+            self.invariant_factory(slot)
+            if self.invariant_factory is not None
+            else None
+        )
+        observers = self.observers + ([suite] if suite is not None else [])
         runner = LockstepRunner(
             self.n,
-            lambda pid: self.algorithm_factory(pid, self.n, proposals[pid]),
+            lambda pid: factory(pid, self.n, proposals[pid]),
             self.oracle,
             schedule,
+            observers=observers,
         )
         outcome = runner.run(max_rounds=self.max_rounds_per_instance)
         self.instances_run += 1
         self.total_rounds += outcome.rounds_executed
         self.total_messages += outcome.messages_sent
+        if suite is not None:
+            suite.finish(RunView.from_lockstep(outcome))
+            self.violations.extend(suite.violations)
+        if self.policy is not None:
+            self.policy.observe_slot(slot, outcome)
 
         if not outcome.all_correct_decided:
             return SlotResult(

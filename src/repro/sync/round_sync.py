@@ -513,6 +513,14 @@ class SyncRun:
                     for src in node.timely_receipts.get(k, ()):
                         matrix[dst, src] = True
             result.matrices.append(matrix)
+            # The event path assembles matrices post-hoc, so observers'
+            # ``on_round_matrix`` hooks fire here as a replay after the
+            # simulation ends — same stream as the lockstep runner's live
+            # notifications, delivered late.
+            for observer in self.observers:
+                method = getattr(observer, "on_round_matrix", None)
+                if method is not None:
+                    method(k, matrix)
             starts = [
                 node.round_starts[k]
                 for node in self.nodes

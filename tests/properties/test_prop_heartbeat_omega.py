@@ -1,0 +1,104 @@
+"""Property-based tests of :class:`HeartbeatOmega`'s window accounting.
+
+The detector has two windowed views of the same freshness map: the
+suspicion accounting in :meth:`observe` (``last_heard < round - W``) and
+the trust selection in :meth:`trusted` (``last_heard >= round - W``).
+These must stay exact complements — a one-off at the boundary (``<=`` in
+one, ``>=`` in the other) would let a process be simultaneously trusted
+and suspected.  The freshness map is monotone, so replayed and
+out-of-order observations must never change any answer.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.oracles.omega import HeartbeatOmega
+
+
+@st.composite
+def observation_sequences(draw):
+    """A process count, suspicion window, and (round, matrix) stream.
+
+    Rounds may repeat and arrive out of order — the runner replays
+    matrices under fault injection, and the detector documents both as
+    safe.
+    """
+    n = draw(st.integers(min_value=2, max_value=6))
+    window = draw(st.integers(min_value=1, max_value=4))
+    count = draw(st.integers(min_value=1, max_value=10))
+    observations = []
+    for _ in range(count):
+        round_number = draw(st.integers(min_value=1, max_value=12))
+        bits = draw(
+            st.lists(st.booleans(), min_size=n * n, max_size=n * n)
+        )
+        matrix = np.array(bits, dtype=bool).reshape(n, n)
+        observations.append((round_number, matrix))
+    return n, window, observations
+
+
+def feed(n, window, observations):
+    oracle = HeartbeatOmega(n, suspicion_rounds=window)
+    for round_number, matrix in observations:
+        oracle.observe(round_number, matrix)
+    return oracle
+
+
+@given(data=observation_sequences(), query_round=st.integers(1, 15))
+@settings(max_examples=200)
+def test_suspected_iff_not_alive(data, query_round):
+    n, window, observations = data
+    oracle = feed(n, window, observations)
+    for pid in range(n):
+        alive = oracle.alive(pid, query_round)
+        suspected = oracle.suspected(pid, query_round)
+        assert (suspected == ~alive).all()
+
+
+@given(data=observation_sequences(), query_round=st.integers(1, 15))
+@settings(max_examples=200)
+def test_trusted_is_min_id_alive(data, query_round):
+    n, window, observations = data
+    oracle = feed(n, window, observations)
+    for pid in range(n):
+        alive = np.flatnonzero(oracle.alive(pid, query_round))
+        expected = int(alive[0]) if alive.size else pid
+        assert oracle.trusted(pid, query_round) == expected
+
+
+@given(data=observation_sequences())
+@settings(max_examples=150)
+def test_self_alive_at_last_observed_round(data):
+    n, window, observations = data
+    oracle = feed(n, window, observations)
+    last = max(round_number for round_number, _ in observations)
+    for pid in range(n):
+        assert oracle.alive(pid, last)[pid]
+        assert not oracle.suspected(pid, last)[pid]
+
+
+@given(
+    data=observation_sequences(),
+    seed=st.integers(0, 2**16),
+    query_round=st.integers(1, 15),
+)
+@settings(max_examples=150)
+def test_replayed_and_reordered_observations_agree(data, seed, query_round):
+    """Monotonicity: any shuffle of the stream, with arbitrary replays
+    mixed in, yields the same windows and the same trusted output."""
+    n, window, observations = data
+    rng = np.random.default_rng(seed)
+    shuffled = list(observations)
+    rng.shuffle(shuffled)
+    # Replay a random prefix of the shuffled stream a second time.
+    replayed = shuffled + shuffled[: int(rng.integers(0, len(shuffled) + 1))]
+
+    in_order = feed(n, window, observations)
+    chaotic = feed(n, window, replayed)
+    for pid in range(n):
+        assert (
+            chaotic.alive(pid, query_round) == in_order.alive(pid, query_round)
+        ).all()
+        assert chaotic.trusted(pid, query_round) == in_order.trusted(
+            pid, query_round
+        )

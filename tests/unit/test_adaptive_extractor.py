@@ -1,0 +1,215 @@
+"""Unit tests for the online timeliness-graph extractor."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.extractor import CANDIDATES, TimelinessExtractor
+from repro.models.registry import MODELS
+
+N = 4
+
+
+def latency_matrix(value: float, n: int = N) -> np.ndarray:
+    matrix = np.full((n, n), float(value))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def make_extractor(**kwargs) -> TimelinessExtractor:
+    defaults = dict(n=N, timeouts=(0.1, 0.5), window=8, min_rounds=2)
+    defaults.update(kwargs)
+    return TimelinessExtractor(**defaults)
+
+
+class TestConstruction:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            TimelinessExtractor(1, (0.1,))
+
+    def test_needs_a_timeout(self):
+        with pytest.raises(ValueError):
+            TimelinessExtractor(N, ())
+
+    def test_min_rounds_bounded_by_window(self):
+        with pytest.raises(ValueError):
+            TimelinessExtractor(N, (0.1,), window=4, min_rounds=5)
+
+    def test_timeouts_sorted(self):
+        extractor = TimelinessExtractor(N, (0.5, 0.1, 0.3))
+        assert extractor.timeouts == (0.1, 0.3, 0.5)
+
+    def test_default_horizon_covers_largest_timeout(self):
+        extractor = TimelinessExtractor(N, (0.1, 0.5))
+        assert extractor.horizon == pytest.approx(0.75)
+
+
+class TestLatencyFeed:
+    def test_link_timeliness_fraction(self):
+        extractor = make_extractor()
+        extractor.observe_latencies(1, latency_matrix(0.05))
+        extractor.observe_latencies(2, latency_matrix(0.05))
+        extractor.observe_latencies(3, latency_matrix(0.3))
+        extractor.observe_latencies(4, latency_matrix(0.3))
+        graph_fast = extractor.link_timeliness(0.1)
+        graph_slow = extractor.link_timeliness(0.5)
+        off = ~np.eye(N, dtype=bool)
+        assert np.allclose(graph_fast[off], 0.5)
+        assert np.allclose(graph_slow[off], 1.0)
+        assert np.allclose(np.diag(graph_fast), 1.0)
+
+    def test_horizon_censors_to_inf(self):
+        extractor = make_extractor()
+        extractor.observe_latencies(1, latency_matrix(10.0))
+        trace = extractor._window_trace()
+        off = ~np.eye(N, dtype=bool)
+        assert np.isinf(trace[0][off]).all()
+
+    def test_replay_merges_by_minimum(self):
+        extractor = make_extractor()
+        extractor.observe_latencies(1, latency_matrix(0.3))
+        extractor.observe_latencies(1, latency_matrix(0.05))
+        # A replay can only confirm timeliness, never retract it.
+        extractor.observe_latencies(1, latency_matrix(0.4))
+        assert extractor.rounds_seen == 1
+        off = ~np.eye(N, dtype=bool)
+        assert np.allclose(extractor.link_timeliness(0.1)[off], 1.0)
+
+    def test_out_of_order_rounds_accepted(self):
+        extractor = make_extractor()
+        extractor.observe_latencies(5, latency_matrix(0.05))
+        extractor.observe_latencies(2, latency_matrix(0.05))
+        assert extractor.rounds_seen == 2
+
+    def test_window_evicts_oldest(self):
+        extractor = make_extractor(window=3, min_rounds=1)
+        for k in range(1, 6):
+            extractor.observe_latencies(k, latency_matrix(0.05))
+        assert extractor.rounds_seen == 3
+        assert sorted(extractor._rounds) == [3, 4, 5]
+
+    def test_shape_checked(self):
+        extractor = make_extractor()
+        with pytest.raises(ValueError):
+            extractor.observe_latencies(1, np.zeros((2, 2)))
+
+
+class TestBooleanFeed:
+    def test_delivery_bounds_latency_at_running_timeout(self):
+        extractor = make_extractor()
+        extractor.running_timeout = 0.5
+        extractor.observe(1, np.ones((N, N), dtype=bool))
+        off = ~np.eye(N, dtype=bool)
+        # Bounded above by 0.5: timely at 0.7, unknown at 0.1.
+        assert np.allclose(extractor.link_timeliness(0.7)[off], 1.0)
+        assert np.allclose(extractor.link_timeliness(0.1)[off], 0.0)
+
+    def test_default_bound_is_smallest_timeout(self):
+        extractor = make_extractor()  # timeouts (0.1, 0.5)
+        extractor.observe(1, np.ones((N, N), dtype=bool))
+        off = ~np.eye(N, dtype=bool)
+        assert np.allclose(extractor.link_timeliness(0.5)[off], 1.0)
+
+    def test_non_delivery_carries_no_information(self):
+        extractor = make_extractor()
+        extractor.observe(1, np.zeros((N, N), dtype=bool))
+        off = ~np.eye(N, dtype=bool)
+        # The message may merely be late: the link is unknown, not slow.
+        assert np.allclose(extractor.link_timeliness(0.5)[off], 0.0)
+        extractor.observe_latencies(1, latency_matrix(0.05))
+        assert np.allclose(extractor.link_timeliness(0.5)[off], 1.0)
+
+    def test_on_round_matrix_is_the_observer_spelling(self):
+        extractor = make_extractor()
+        extractor.on_round_matrix(1, np.ones((N, N), dtype=bool))
+        assert extractor.rounds_seen == 1
+
+
+class TestReadiness:
+    def test_not_ready_below_min_rounds(self):
+        extractor = make_extractor(min_rounds=3)
+        extractor.observe_latencies(1, latency_matrix(0.05))
+        extractor.observe_latencies(2, latency_matrix(0.05))
+        assert not extractor.ready
+        assert extractor.recommend() is None
+        extractor.observe_latencies(3, latency_matrix(0.05))
+        assert extractor.ready
+
+
+class TestClassification:
+    def test_best_leader_prefers_strongest_source(self):
+        extractor = make_extractor()
+        for k in range(1, 5):
+            matrix = latency_matrix(0.3)
+            matrix[:, 2] = 0.01  # node 2's column always timely
+            np.fill_diagonal(matrix, 0.0)
+            extractor.observe_latencies(k, matrix)
+        assert extractor.best_leader(0.1) == 2
+
+    def test_best_leader_ties_to_smallest_id(self):
+        extractor = make_extractor()
+        extractor.observe_latencies(1, latency_matrix(0.05))
+        assert extractor.best_leader(0.1) == 0
+
+    def test_all_timely_window_holds_everywhere(self):
+        extractor = make_extractor()
+        for k in range(1, 5):
+            extractor.observe_latencies(k, latency_matrix(0.05))
+        for cell in extractor.estimates():
+            assert cell.satisfaction == pytest.approx(1.0)
+            assert cell.holds
+            model = MODELS[cell.model]
+            assert cell.expected_time == pytest.approx(
+                model.decision_rounds * cell.timeout
+            )
+
+    def test_never_satisfied_cell_is_nan(self):
+        extractor = make_extractor()
+        for k in range(1, 5):
+            extractor.observe_latencies(k, latency_matrix(0.3))
+        cells = {
+            (cell.model, cell.timeout): cell for cell in extractor.estimates()
+        }
+        for name in CANDIDATES:
+            fast = cells[(name, 0.1)]
+            assert np.isnan(fast.expected_time)
+            assert fast.satisfaction == 0.0
+            assert not fast.holds
+            assert not np.isnan(cells[(name, 0.5)].expected_time)
+
+    def test_holding_reports_smallest_sufficient_timeout(self):
+        extractor = make_extractor()
+        for k in range(1, 5):
+            extractor.observe_latencies(k, latency_matrix(0.3))
+        holding = extractor.holding()
+        assert all(holding[name] == 0.5 for name in CANDIDATES)
+
+    def test_holding_none_when_nothing_holds(self):
+        extractor = make_extractor()
+        extractor.observe_latencies(1, latency_matrix(10.0))
+        holding = extractor.holding()
+        assert all(holding[name] is None for name in CANDIDATES)
+
+    def test_recommend_picks_cheapest_holding_cell(self):
+        extractor = make_extractor()
+        for k in range(1, 5):
+            extractor.observe_latencies(k, latency_matrix(0.05))
+        best = extractor.recommend()
+        assert best is not None
+        # All models hold at both timeouts; the cheapest estimate is the
+        # smallest decision-round count at the smallest timeout — ES.
+        assert best.model == "ES"
+        assert best.timeout == 0.1
+
+    def test_recommend_none_during_blackout(self):
+        extractor = make_extractor()
+        for k in range(1, 5):
+            extractor.observe_latencies(k, latency_matrix(10.0))
+        assert extractor.ready
+        assert extractor.recommend() is None
+
+    def test_leaderless_cells_have_no_leader(self):
+        extractor = make_extractor()
+        extractor.observe_latencies(1, latency_matrix(0.05))
+        for cell in extractor.estimates():
+            needs_leader = MODELS[cell.model].needs_leader
+            assert (cell.leader is not None) == needs_leader

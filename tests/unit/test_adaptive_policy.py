@@ -1,0 +1,167 @@
+"""Unit tests for the switching policy's hysteresis (stubbed extractor)."""
+
+import pytest
+
+from repro.adaptive.extractor import ModelEstimate
+from repro.adaptive.policy import (
+    ALGORITHMS,
+    AdaptivePolicy,
+    FixedPolicy,
+    PolicyOracle,
+)
+from repro.consensus import AfmConsensus, EsConsensus, LmConsensus
+from repro.core import WlmConsensus
+
+
+def cell(model="LM", timeout=0.1, leader=1, expected=1.0, holds=True):
+    return ModelEstimate(
+        model=model,
+        timeout=timeout,
+        leader=leader,
+        satisfaction=1.0 if holds else 0.0,
+        holds=holds,
+        expected_time=expected,
+    )
+
+
+class StubExtractor:
+    """Scripted recommendations; records the running timeout it is told."""
+
+    def __init__(self, timeouts=(0.1, 0.5)):
+        self.timeouts = tuple(timeouts)
+        self.recommendation = None
+        self.cells = []
+
+    def recommend(self):
+        return self.recommendation
+
+    def estimates(self):
+        return list(self.cells)
+
+
+def make_policy(extractor=None, **kwargs):
+    extractor = extractor or StubExtractor()
+    defaults = dict(
+        model="WLM", timeout=0.5, leader=0, min_dwell=2, margin=0.2
+    )
+    defaults.update(kwargs)
+    return AdaptivePolicy(extractor, **defaults), extractor
+
+
+class TestFixedPolicy:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPolicy("PAXOS", 0.1)
+
+    @pytest.mark.parametrize(
+        "model,algorithm",
+        [
+            ("ES", EsConsensus),
+            ("LM", LmConsensus),
+            ("WLM", WlmConsensus),
+            ("AFM", AfmConsensus),
+        ],
+    )
+    def test_factory_builds_the_models_algorithm(self, model, algorithm):
+        assert ALGORITHMS[model] is algorithm
+        policy = FixedPolicy(model, 0.1)
+        instance = policy.algorithm_factory(0, 4, "value")
+        assert isinstance(instance, algorithm)
+
+    def test_never_switches(self):
+        policy = FixedPolicy("ES", 0.1, leader=3)
+        for slot in range(10):
+            policy.begin_slot(slot)
+        assert policy.switches == []
+        assert (policy.model, policy.timeout, policy.leader) == ("ES", 0.1, 3)
+
+
+class TestAdaptiveHysteresis:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_policy(min_dwell=0)
+        with pytest.raises(ValueError):
+            make_policy(margin=-0.1)
+
+    def test_sets_running_timeout_on_construction(self):
+        policy, extractor = make_policy(timeout=0.5)
+        assert extractor.running_timeout == 0.5
+
+    def test_default_timeout_is_smallest_candidate(self):
+        policy, _ = make_policy(timeout=None)
+        assert policy.timeout == 0.1
+
+    def test_switches_to_better_cell(self):
+        policy, extractor = make_policy()
+        extractor.recommendation = cell(expected=0.3)
+        extractor.cells = [cell("WLM", 0.5, expected=2.0)]
+        policy.begin_slot(0)
+        assert (policy.model, policy.timeout, policy.leader) == ("LM", 0.1, 1)
+        assert len(policy.switches) == 1
+        assert policy.switches[0].slot == 0
+        assert extractor.running_timeout == 0.1
+
+    def test_margin_blocks_marginal_improvement(self):
+        policy, extractor = make_policy(margin=0.2)
+        extractor.cells = [cell("WLM", 0.5, expected=1.0)]
+        extractor.recommendation = cell(expected=0.9)  # only 10% better
+        policy.begin_slot(0)
+        assert policy.switches == []
+        extractor.recommendation = cell(expected=0.7)  # 30% better
+        policy.begin_slot(1)
+        assert len(policy.switches) == 1
+
+    def test_dwell_blocks_consecutive_switches(self):
+        policy, extractor = make_policy(min_dwell=3)
+        extractor.recommendation = cell("LM", 0.1, expected=0.3)
+        extractor.cells = [cell("WLM", 0.5, expected=2.0)]
+        policy.begin_slot(0)
+        assert len(policy.switches) == 1
+        extractor.recommendation = cell("ES", 0.1, expected=0.1)
+        extractor.cells = [cell("LM", 0.1, expected=0.3)]
+        for slot in range(1, 4):
+            policy.begin_slot(slot)
+            assert len(policy.switches) == 1, f"switched during dwell, slot {slot}"
+        policy.begin_slot(4)
+        assert len(policy.switches) == 2
+
+    def test_nan_current_estimate_forces_switch(self):
+        policy, extractor = make_policy(margin=0.9)
+        # Current configuration's conditions never hold in the window:
+        # any viable recommendation wins, margin notwithstanding.
+        extractor.cells = [cell("WLM", 0.5, expected=float("nan"), holds=False)]
+        extractor.recommendation = cell(expected=100.0)
+        policy.begin_slot(0)
+        assert len(policy.switches) == 1
+
+    def test_same_cell_reaims_leader_for_free(self):
+        policy, extractor = make_policy(model="LM", timeout=0.1, leader=0)
+        extractor.recommendation = cell("LM", 0.1, leader=5, expected=0.3)
+        policy.begin_slot(0)
+        assert policy.leader == 5
+        assert policy.switches == []  # not a protocol reconfiguration
+
+    def test_no_recommendation_stays_put(self):
+        policy, extractor = make_policy()
+        extractor.recommendation = None  # not ready, or total blackout
+        for slot in range(5):
+            policy.begin_slot(slot)
+        assert policy.switches == []
+        assert (policy.model, policy.timeout) == ("WLM", 0.5)
+
+    def test_timeout_change_within_model_counts_as_switch(self):
+        policy, extractor = make_policy(model="LM", timeout=0.5)
+        extractor.cells = [cell("LM", 0.5, expected=2.0)]
+        extractor.recommendation = cell("LM", 0.1, expected=0.3)
+        policy.begin_slot(0)
+        assert len(policy.switches) == 1
+        assert policy.timeout == 0.1
+
+
+class TestPolicyOracle:
+    def test_tracks_the_policys_leader(self):
+        policy = FixedPolicy("LM", 0.1, leader=2)
+        oracle = PolicyOracle(policy)
+        assert oracle.query(0, 1) == 2
+        policy.leader = 6
+        assert oracle.query(3, 9) == 6

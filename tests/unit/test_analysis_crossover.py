@@ -53,6 +53,25 @@ class TestOptimalTimeout:
         with pytest.raises(ValueError):
             optimal_timeout([], [])
 
+    def test_nan_cell_never_wins(self):
+        """Regression: ``np.argmin`` returns the index of a NaN, so a
+        sweep cell that never decided used to become the "optimum" with a
+        ``nan`` decision time.  NaN cells must be skipped."""
+        timeouts = [0.1, 0.2, 0.3]
+        times = [float("nan"), 0.5, 0.9]
+        best_t, best_v = optimal_timeout(timeouts, times)
+        assert best_t == 0.2
+        assert best_v == 0.5
+        # NaN in the middle, minimum after it: still found.
+        assert optimal_timeout(timeouts, [0.9, float("nan"), 0.5]) == (
+            0.3,
+            0.5,
+        )
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            optimal_timeout([0.1, 0.2], [float("nan"), float("nan")])
+
 
 class TestDecisionTimeCurve:
     def test_elementwise_product(self):

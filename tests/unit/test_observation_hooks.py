@@ -1,0 +1,94 @@
+"""The ``on_round_matrix`` observer hook, on both execution paths.
+
+The adaptive extractor taps delivery matrices through the same seam the
+oracles use: the lockstep runner fires the hook live, right after
+``oracle.observe``; the event-driven path assembles matrices post-hoc
+and replays them at collection time.  Either way an observer must see
+every executed round's matrix exactly once, 1-based, in round order.
+"""
+
+import numpy as np
+
+from repro.consensus import AfmConsensus
+from repro.giraf.oracle import NullOracle
+from repro.giraf.runner import LockstepRunner
+from repro.giraf.schedule import MatrixSchedule
+from repro.models.matrix import full_matrix
+from repro.net.iid import BernoulliLinkModel
+from repro.sim import Transport
+from repro.sync import SyncRun
+
+
+class MatrixRecorder:
+    def __init__(self):
+        self.calls = []
+
+    def on_round_matrix(self, round_number, delivered):
+        self.calls.append((round_number, np.array(delivered, dtype=bool)))
+
+
+class TestLockstepHook:
+    def test_fires_once_per_round_in_order(self):
+        n = 4
+        recorder = MatrixRecorder()
+        runner = LockstepRunner(
+            n,
+            lambda pid: AfmConsensus(pid, n, pid),
+            NullOracle(),
+            MatrixSchedule([full_matrix(n)] * 20),
+            observers=[recorder],
+        )
+        result = runner.run(max_rounds=20)
+        assert result.all_correct_decided
+        rounds = [k for k, _ in recorder.calls]
+        assert rounds == list(range(1, result.rounds_executed + 1))
+
+    def test_matrices_match_the_schedule(self):
+        n = 3
+        lossy = full_matrix(n)
+        lossy[2, 0] = False
+        recorder = MatrixRecorder()
+        runner = LockstepRunner(
+            n,
+            lambda pid: AfmConsensus(pid, n, pid),
+            NullOracle(),
+            MatrixSchedule([full_matrix(n), lossy, full_matrix(n)]),
+            observers=[recorder],
+        )
+        runner.run(max_rounds=3)
+        assert np.array_equal(recorder.calls[1][1], lossy)
+
+    def test_observer_without_the_hook_is_fine(self):
+        n = 3
+        runner = LockstepRunner(
+            n,
+            lambda pid: AfmConsensus(pid, n, pid),
+            NullOracle(),
+            MatrixSchedule([full_matrix(n)] * 10),
+            observers=[object()],
+        )
+        assert runner.run(max_rounds=10).all_correct_decided
+
+
+class TestEventPathHook:
+    def test_replayed_matrices_match_the_result(self):
+        n = 4
+        profile = BernoulliLinkModel(n, p=0.95, timeout=0.3, seed=7)
+        recorder = MatrixRecorder()
+        run = SyncRun(
+            n,
+            lambda pid: AfmConsensus(pid, n, pid),
+            NullOracle(),
+            lambda sim: Transport(sim, profile),
+            timeout=0.3,
+            latency_table=np.full((n, n), 0.05),
+            max_rounds=30,
+            observers=[recorder],
+        )
+        result = run.run()
+        assert len(result.decisions) == n
+        rounds = [k for k, _ in recorder.calls]
+        assert rounds == list(range(1, len(recorder.calls) + 1))
+        assert len(recorder.calls) == len(result.matrices)
+        for (_, seen), expected in zip(recorder.calls, result.matrices):
+            assert np.array_equal(seen, expected)

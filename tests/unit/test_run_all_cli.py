@@ -68,6 +68,26 @@ class TestMain:
             assert fault in table, fault
         assert "P_M clean" in table and "D ratio" in table
 
+    def test_adaptive_flag_writes_selection_table(self, tmp_path, monkeypatch):
+        """``--adaptive`` appends the online-selection phase."""
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=40, runs=1, start_points=2,
+            timeouts=(0.21,), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny)
+
+        exit_code = main(["--out", str(tmp_path), "--adaptive"])
+        assert exit_code == 0
+        table = (tmp_path / "adaptive.txt").read_text()
+        assert "adaptive model selection under churn" in table
+        assert "best fixed:" in table
+        assert "adaptive regret" in table
+        assert "switch timeline" in table
+
     def test_without_faults_flag_no_robustness_table(
         self, tmp_path, monkeypatch
     ):
@@ -83,6 +103,7 @@ class TestMain:
 
         assert main(["--out", str(tmp_path)]) == 0
         assert not (tmp_path / "faults.txt").exists()
+        assert not (tmp_path / "adaptive.txt").exists()
 
     def test_bad_scale_rejected(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -58,6 +58,24 @@ class TestRecommendationSummary:
         text = self.make().summary()
         assert "—" in text
 
+    def test_never_deciding_model_has_no_literal_nan(self):
+        """Regression: ``satisfaction_at_best`` went through ``%.2f``
+        directly, so a model that never decided (NaN satisfaction, as the
+        sweep produces when no run yields a P_M sample) printed a literal
+        ``nan`` in the P_M column."""
+        rec = self.make()
+        rec.reports["ES"] = ModelReport(
+            model="ES",
+            optimal_timeout=float("nan"),
+            best_decision_time=float("nan"),
+            satisfaction_at_best=float("nan"),
+            message_complexity="quadratic",
+        )
+        text = rec.summary()
+        assert "nan" not in text
+        es_line = next(line for line in text.splitlines() if line.startswith("ES"))
+        assert "—" in es_line
+
 
 class TestSweepSeeding:
     """Regression for the selector's additive seeding.
