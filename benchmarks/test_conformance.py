@@ -33,12 +33,16 @@ def test_conformance_report(conformance, save_result):
         "planetlab-wan", "lan", "uniform-wan",
     }
     assert {r.fault for r in report.results} == {"none", "canonical"}
-    # Plus the scalar-vs-batched axis on each profile's static variant.
-    assert len(report.batch_axis) == 3
+    # Plus the scalar-vs-batched axis on each profile's static variant,
+    # clean and under the canonical batch-eligible fault plan.
+    assert len(report.batch_axis) == 6
     assert {r.profile for r in report.batch_axis} == {
         "planetlab-wan [scalar-vs-batched]",
         "lan [scalar-vs-batched]",
         "uniform-wan [scalar-vs-batched]",
+    }
+    assert {r.fault for r in report.batch_axis} == {
+        "none", "canonical-batch",
     }
 
 

@@ -1,4 +1,4 @@
-"""Speedup guard for the batched round-sync hot path.
+"""Speedup guards for the batched round-sync hot path.
 
 Times the paper's WAN measurement scenario (8 nodes, 1500 heartbeat
 rounds on the static PlanetLab profile) on the scalar event loop versus
@@ -7,15 +7,27 @@ asserts the batch path is at least 10x faster *while producing the
 bit-identical* :class:`~repro.sync.round_sync.SyncRunResult` — speed
 bought by changing the answer would be no speedup at all.
 
-Measured ratios go to ``benchmarks/results/round_sync_speedup.txt``.
+A second guard covers the widened fast path: the same scenario under a
+round-granular :class:`~repro.faults.plan.FaultPlan` (permanent crash,
+loss burst, partition, slow node), with live ``repro.obs`` metrics and
+the :class:`~repro.oracles.omega.HeartbeatOmega` detector — the four
+configurations that used to force the scalar fallback — must still be
+at least 5x faster, bit-identical results and equal metric totals
+asserted.
+
+Measured ratios go to ``benchmarks/results/round_sync_speedup.txt`` and
+``benchmarks/results/round_sync_faulted_speedup.txt``.
 """
 
 import time
 
 import numpy as np
 
+from repro.faults.plan import Crash, FaultPlan, LossBurst, Partition, SlowNode
 from repro.giraf.oracle import NullOracle
 from repro.net import measure_latency_table, planetlab_profile
+from repro.obs.registry import MetricsRegistry
+from repro.oracles.omega import HeartbeatOmega
 from repro.sim import Transport
 from repro.sync import HeartbeatAlgorithm, SyncRun
 from repro.sync.batch import result_divergences
@@ -24,19 +36,21 @@ NODES = 8
 ROUNDS = 1500
 TIMEOUT = 0.21
 MIN_SPEEDUP = 10.0
+MIN_FAULTED_SPEEDUP = 5.0
 
 
-def best_of(fn, reps):
+def best_of(fn, reps, builder=None):
     """Minimum wall time of ``run.run(...)`` over ``reps`` fresh runs.
 
     A run cannot be replayed (a started run is ineligible for the batch
     path), so each rep builds its own; only the ``run()`` call — the
     code the batch path replaces — is inside the timed region.
     """
+    builder = builder or build_run
     best = float("inf")
     run = result = None
     for _ in range(reps):
-        run = build_run()
+        run = builder()
         start = time.perf_counter()
         result = fn(run)
         best = min(best, time.perf_counter() - start)
@@ -57,6 +71,70 @@ def build_run():
         latency_table=table,
         max_rounds=ROUNDS,
     )
+
+
+def faulted_plan():
+    """Round-granular faults spanning the run: every vectorized fault
+    pass (crash epochs, burst replay, partition masks, slow factors)
+    stays exercised inside the timed region."""
+    return FaultPlan(
+        n=NODES,
+        crashes=(Crash(pid=2, at_round=ROUNDS // 2),),
+        loss_bursts=(
+            LossBurst(
+                start_round=ROUNDS // 5,
+                end_round=ROUNDS // 5 + 60,
+                drop_prob=0.7,
+            ),
+        ),
+        partitions=(
+            Partition(
+                groups=(tuple(range(4)), tuple(range(4, NODES))),
+                start_round=2 * ROUNDS // 5,
+                heal_round=2 * ROUNDS // 5 + 40,
+            ),
+        ),
+        slow_nodes=(
+            SlowNode(
+                pid=NODES - 1,
+                start_round=3 * ROUNDS // 5,
+                end_round=3 * ROUNDS // 5 + 80,
+                factor=3.0,
+                drop_prob=0.4,
+            ),
+        ),
+        seed=21,
+    )
+
+
+def build_faulted_run():
+    profile = planetlab_profile(seed=7, slow_run_prob=0.0)
+    table = measure_latency_table(
+        planetlab_profile(seed=8, slow_run_prob=0.0), pings=15
+    )
+    metrics = MetricsRegistry()
+    run = SyncRun(
+        NODES,
+        lambda pid: HeartbeatAlgorithm(pid, NODES),
+        HeartbeatOmega(NODES, metrics=metrics),
+        lambda sim: Transport(sim, profile, metrics=metrics),
+        timeout=TIMEOUT,
+        latency_table=table,
+        max_rounds=ROUNDS,
+        fault_plan=faulted_plan(),
+        metrics=metrics,
+    )
+    run.bench_metrics = metrics
+    return run
+
+
+def comparable_counters(metrics):
+    return {
+        key: value
+        for key, value in metrics.snapshot()["counters"].items()
+        if not key.startswith("sync.executed_mode")
+        and not key.startswith("sync.batch_fallback")
+    }
 
 
 def test_batched_round_sync_speedup(save_result):
@@ -100,5 +178,64 @@ def test_batched_round_sync_speedup(save_result):
     assert speedup >= MIN_SPEEDUP, (
         f"batched round-sync speedup {speedup:.1f}x below the "
         f"{MIN_SPEEDUP:.0f}x floor (scalar {scalar_s:.3f}s, "
+        f"batch {batch_s:.3f}s)"
+    )
+
+
+def test_batched_faulted_instrumented_speedup(save_result):
+    scalar_s, scalar_run, scalar_result = best_of(
+        lambda run: run.run(mode="scalar"), reps=3, builder=build_faulted_run
+    )
+    batch_s, batch_run, batch_result = best_of(
+        lambda run: run.run(), reps=10, builder=build_faulted_run
+    )
+    assert batch_run.executed_mode == "batch", batch_run.fallback_reason
+    speedup = scalar_s / batch_s
+
+    # Identity under faults, live metrics and the Omega detector.
+    assert result_divergences(scalar_result, batch_result) == []
+    for a, b in zip(scalar_run.nodes, batch_run.nodes):
+        assert a.round_starts == b.round_starts
+        assert a.round_ends == b.round_ends
+        assert a.timely_receipts == b.timely_receipts
+        assert a.crashed_permanently == b.crashed_permanently
+    assert (
+        scalar_run.transport.messages_sent
+        == batch_run.transport.messages_sent
+    )
+    assert (
+        scalar_run.transport.messages_lost
+        == batch_run.transport.messages_lost
+    )
+    assert comparable_counters(scalar_run.bench_metrics) == (
+        comparable_counters(batch_run.bench_metrics)
+    )
+    assert (
+        scalar_run.bench_metrics.snapshot()["histograms"]
+        == batch_run.bench_metrics.snapshot()["histograms"]
+    )
+    assert scalar_run.nodes[2].crashed_permanently
+    assert np.isfinite(batch_result.sync_error).any()
+
+    lines = [
+        f"Round sync under faults + instrumentation: scalar event loop "
+        f"vs batched hot path ({NODES} nodes x {ROUNDS} rounds, static "
+        f"PlanetLab WAN, timeout {TIMEOUT:g}s)",
+        "",
+        "faults: permanent crash, loss burst, partition, slow node;",
+        "telemetry: live metrics registry; oracle: HeartbeatOmega",
+        "",
+        f"{'path':<8} {'wall':>12}",
+        f"{'scalar':<8} {scalar_s * 1e3:>10.1f}ms",
+        f"{'batch':<8} {batch_s * 1e3:>10.2f}ms",
+        "",
+        f"speedup: {speedup:.1f}x  (floor: {MIN_FAULTED_SPEEDUP:.0f}x, "
+        "bit-identical results and equal metric totals asserted)",
+    ]
+    save_result("round_sync_faulted_speedup", "\n".join(lines))
+
+    assert speedup >= MIN_FAULTED_SPEEDUP, (
+        f"faulted+instrumented batched speedup {speedup:.1f}x below the "
+        f"{MIN_FAULTED_SPEEDUP:.0f}x floor (scalar {scalar_s:.3f}s, "
         f"batch {batch_s:.3f}s)"
     )

@@ -16,10 +16,18 @@ system observes anyway:
   retunes its timeout, with hysteresis so measurement noise does not
   thrash the configuration;
 - :mod:`repro.adaptive.scenario` puts the loop under churn (slow node,
-  partition) and compares it against every fixed (model, timeout) pair.
+  partition) and compares it against every fixed (model, timeout) pair;
+- :mod:`repro.adaptive.live` feeds the extractor from the event stack's
+  batched hot path (``on_round_matrix`` straight off the vectorized
+  arrays) and cross-checks it against a forced-scalar replay.
 """
 
 from repro.adaptive.extractor import ModelEstimate, TimelinessExtractor
+from repro.adaptive.live import (
+    LiveExtractionReport,
+    render_live_extraction,
+    run_live_extraction,
+)
 from repro.adaptive.policy import AdaptivePolicy, FixedPolicy, PolicyOracle
 from repro.adaptive.scenario import (
     ScenarioComparison,
@@ -34,6 +42,9 @@ __all__ = [
     "AdaptivePolicy",
     "FixedPolicy",
     "PolicyOracle",
+    "LiveExtractionReport",
+    "render_live_extraction",
+    "run_live_extraction",
     "ScenarioConfig",
     "ScenarioComparison",
     "adaptive_report",

@@ -49,7 +49,7 @@ from repro.experiments.measurement import (
     timely_matrices,
 )
 from repro.faults.lockstep import inject_lockstep
-from repro.faults.plan import Crash, FaultPlan, LossBurst, SlowNode
+from repro.faults.plan import Crash, FaultPlan, LossBurst, Partition, SlowNode
 from repro.giraf.oracle import FixedLeaderOracle, NullOracle, Oracle
 from repro.giraf.runner import LockstepRunner
 from repro.giraf.schedule import MatrixSchedule
@@ -60,6 +60,7 @@ from repro.net.lan import lan_profile
 from repro.net.ping import measure_latency_table, select_leader
 from repro.net.planetlab import planetlab_profile
 from repro.obs.registry import MetricsRegistry
+from repro.oracles.omega import HeartbeatOmega
 from repro.sim.rng import derive_seed
 from repro.sim.transport import Transport
 from repro.sync.batch import RESULT_FIELDS, result_divergences
@@ -365,6 +366,54 @@ def differential_run(
 # ----------------------------------------------------------------------
 
 
+def canonical_batch_plan(n: int, rounds: int, seed: int = 0) -> FaultPlan:
+    """The standard *batch-eligible* fault scenario: permanent crash,
+    loss burst, partition, and slow node at round granularity — exactly
+    the fault classes the widened fast path covers (no recoveries, no
+    clock steps)."""
+    if rounds < 40:
+        raise ValueError("the canonical batch plan needs at least 40 rounds")
+    third = max(8, rounds // 3)
+    half = n // 2
+    return FaultPlan(
+        n=n,
+        crashes=(Crash(pid=min(2, (n + 1) // 2 - 1), at_round=third),),
+        loss_bursts=(
+            LossBurst(
+                start_round=third + 8, end_round=third + 10, drop_prob=0.9
+            ),
+        ),
+        partitions=(
+            Partition(
+                groups=(tuple(range(half)), tuple(range(half, n))),
+                start_round=third + 14,
+                heal_round=third + 18,
+            ),
+        ),
+        slow_nodes=(
+            SlowNode(
+                pid=n - 1,
+                start_round=third + 22,
+                end_round=third + 26,
+                factor=3.0,
+                drop_prob=0.5,
+            ),
+        ),
+        seed=derive_seed(seed, "check:canonical-batch-plan"),
+    )
+
+
+def _comparable_counters(metrics: MetricsRegistry) -> dict:
+    """Counter totals minus the executed-mode bookkeeping, which differs
+    between a forced-scalar and a batched run by construction."""
+    return {
+        key: value
+        for key, value in metrics.snapshot()["counters"].items()
+        if not key.startswith("sync.executed_mode")
+        and not key.startswith("sync.batch_fallback")
+    }
+
+
 def batched_differential_run(
     profile_name: str,
     static_factory: Callable[..., LatencyModel],
@@ -372,6 +421,7 @@ def batched_differential_run(
     rounds: int = 120,
     seed: int = 0,
     dynamic_factory: Optional[Callable[..., LatencyModel]] = None,
+    faulted: bool = False,
 ) -> DifferentialResult:
     """Cross-check the two execution paths *within* the event stack.
 
@@ -386,6 +436,12 @@ def batched_differential_run(
     ``dynamic_factory``, when given, builds the time-*varying* variant
     and probes the other half of the contract — that such a run falls
     back to the scalar loop and reports why.
+
+    With ``faulted=True`` the twin runs carry the widened fast path's
+    full load: the :func:`canonical_batch_plan`, a live metrics registry
+    on the run and the transport, and the :class:`HeartbeatOmega`
+    detector — and two extra rows assert that the ``repro.obs`` counter
+    totals and latency histograms match exactly too.
     """
     ping_model = static_factory(
         seed=derive_seed(seed, f"check:{profile_name}:ping")
@@ -394,21 +450,33 @@ def batched_differential_run(
     table = measure_latency_table(ping_model, pings=15)
     leader = select_leader(table)
     trace_seed = derive_seed(seed, f"check:{profile_name}:batch-axis")
+    plan = canonical_batch_plan(n, rounds, seed=seed) if faulted else None
 
-    def build(factory: Callable[..., LatencyModel]) -> SyncRun:
-        return SyncRun(
+    def build(
+        factory: Callable[..., LatencyModel],
+    ) -> tuple[SyncRun, Optional[MetricsRegistry]]:
+        metrics = MetricsRegistry() if faulted else None
+        oracle = (
+            HeartbeatOmega(n, metrics=metrics) if faulted else NullOracle()
+        )
+        run = SyncRun(
             n,
             lambda pid: HeartbeatAlgorithm(pid, n),
-            NullOracle(),
-            lambda sim: Transport(sim, factory(seed=trace_seed)),
+            oracle,
+            lambda sim: Transport(
+                sim, factory(seed=trace_seed), metrics=metrics
+            ),
             timeout=timeout,
             latency_table=table,
             max_rounds=rounds,
+            fault_plan=plan,
+            metrics=metrics,
         )
+        return run, metrics
 
-    scalar_run = build(static_factory)
+    scalar_run, scalar_metrics = build(static_factory)
     scalar = scalar_run.run(mode="scalar")
-    batched_run = build(static_factory)
+    batched_run, batched_metrics = build(static_factory)
     batched = batched_run.run()
 
     rows = [
@@ -433,6 +501,7 @@ def batched_differential_run(
         a.round_starts == b.round_starts
         and a.round_ends == b.round_ends
         and a.timely_receipts == b.timely_receipts
+        and a.crashed_permanently == b.crashed_permanently
         for a, b in zip(scalar_run.nodes, batched_run.nodes)
     )
     rows.append(
@@ -451,8 +520,32 @@ def batched_differential_run(
             0.0,
         )
     )
+    if faulted:
+        metrics_ok = _comparable_counters(scalar_metrics) == (
+            _comparable_counters(batched_metrics)
+        )
+        rows.append(
+            DiffRow(
+                "identical: metric totals",
+                1.0,
+                1.0 if metrics_ok else 0.0,
+                0.0,
+            )
+        )
+        hists_ok = (
+            scalar_metrics.snapshot()["histograms"]
+            == batched_metrics.snapshot()["histograms"]
+        )
+        rows.append(
+            DiffRow(
+                "identical: histograms",
+                1.0,
+                1.0 if hists_ok else 0.0,
+                0.0,
+            )
+        )
     if dynamic_factory is not None:
-        probe = build(dynamic_factory)
+        probe, _ = build(dynamic_factory)
         probe.run()
         fell_back = (
             probe.executed_mode == "scalar"
@@ -469,7 +562,7 @@ def batched_differential_run(
 
     return DifferentialResult(
         profile=f"{profile_name} [scalar-vs-batched]",
-        fault="none",
+        fault="canonical-batch" if faulted else "none",
         timeout=timeout,
         rounds=rounds,
         seed=seed,
@@ -699,6 +792,19 @@ def run_conformance(
                 rounds=rounds,
                 seed=seed,
                 dynamic_factory=dynamic,
+            )
+        )
+        # The widened fast path: same profile under the canonical fault
+        # plan with live metrics and the Omega detector.  The dynamic
+        # fallback probe already ran on the clean axis above.
+        report.batch_axis.append(
+            batched_differential_run(
+                profile_name,
+                static,
+                timeout=timeout,
+                rounds=rounds,
+                seed=seed,
+                faulted=True,
             )
         )
     report.mc_rows = montecarlo_vs_equations(samples=mc_samples, seed=seed)

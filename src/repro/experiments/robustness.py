@@ -37,8 +37,15 @@ from repro.faults import (
     Partition,
     SlowNode,
 )
-from repro.net.planetlab import LEADER_NODE
+from repro.net.ping import measure_latency_table
+from repro.net.planetlab import LEADER_NODE, planetlab_profile
+from repro.obs.registry import MetricsRegistry
+from repro.oracles.omega import HeartbeatOmega
 from repro.sim.rng import derive_seed
+from repro.sim.transport import Transport
+from repro.sync.batch import result_divergences
+from repro.sync.heartbeat import HeartbeatAlgorithm
+from repro.sync.round_sync import SyncRun
 
 #: The timeout the robustness tables are measured at (the sweep grid's
 #: canonical mid-range point; the paper's WAN discussion centers there).
@@ -281,6 +288,131 @@ def render_robustness(
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class EventStackRow:
+    """One fault class pushed through the event stack both ways."""
+
+    fault: str
+    executed_mode: str
+    fallback_reason: Optional[str]
+    identical: bool
+
+
+def _comparable_counters(metrics: MetricsRegistry) -> dict:
+    return {
+        key: value
+        for key, value in metrics.snapshot()["counters"].items()
+        if not key.startswith("sync.executed_mode")
+        and not key.startswith("sync.batch_fallback")
+    }
+
+
+def event_stack_crosscheck(
+    n: int,
+    rounds: int,
+    timeout: float,
+    seed: int = 0,
+    plans: Optional[dict[str, FaultPlan]] = None,
+) -> list[EventStackRow]:
+    """Run each canonical fault class through :class:`SyncRun` twice —
+    auto mode (batched where eligible) and forced scalar — on a static
+    WAN profile with live metrics and the HeartbeatOmega detector, and
+    record the executed mode plus whether the artifacts are identical.
+
+    This is the robustness phase's half of the widened fast path's
+    contract: fault classes the batch path claims (loss bursts,
+    partitions, slow nodes, permanent crashes, leader churn) must ride
+    it bit-identically; the residual classes (crash *recovery*) must
+    fall back with an attributed reason.
+    """
+    if plans is None:
+        plans = canonical_plans(n, rounds, seed)
+    profile_seed = derive_seed(seed, "faults:event-stack:profile")
+    table = measure_latency_table(
+        planetlab_profile(
+            seed=derive_seed(seed, "faults:event-stack:ping"),
+            slow_run_prob=0.0,
+        ),
+        pings=15,
+    )
+
+    def build(plan: FaultPlan) -> tuple[SyncRun, MetricsRegistry]:
+        metrics = MetricsRegistry()
+        run = SyncRun(
+            n,
+            lambda pid: HeartbeatAlgorithm(pid, n),
+            HeartbeatOmega(n, metrics=metrics),
+            lambda sim: Transport(
+                sim,
+                planetlab_profile(seed=profile_seed, slow_run_prob=0.0),
+                metrics=metrics,
+            ),
+            timeout=timeout,
+            latency_table=table,
+            max_rounds=rounds,
+            fault_plan=plan,
+            metrics=metrics,
+        )
+        return run, metrics
+
+    rows = []
+    for fault_name, plan in plans.items():
+        auto_run, auto_metrics = build(plan)
+        auto_result = auto_run.run()
+        scalar_run, scalar_metrics = build(plan)
+        scalar_result = scalar_run.run(mode="scalar")
+        identical = (
+            result_divergences(scalar_result, auto_result) == []
+            and all(
+                a.round_starts == b.round_starts
+                and a.round_ends == b.round_ends
+                and a.timely_receipts == b.timely_receipts
+                and a.crashed_permanently == b.crashed_permanently
+                for a, b in zip(scalar_run.nodes, auto_run.nodes)
+            )
+            and _comparable_counters(scalar_metrics)
+            == _comparable_counters(auto_metrics)
+        )
+        rows.append(
+            EventStackRow(
+                fault=fault_name,
+                executed_mode=auto_run.executed_mode,
+                fallback_reason=auto_run.fallback_reason,
+                identical=identical,
+            )
+        )
+    return rows
+
+
+def render_event_stack(
+    rows: Sequence[EventStackRow], rounds: int, timeout: float
+) -> str:
+    """The executed-mode distribution table for the report's tail."""
+    title = (
+        f"Event-stack cross-check ({rounds} rounds at "
+        f"{timeout * 1000:.0f} ms, live metrics + HeartbeatOmega): "
+        "auto vs forced-scalar SyncRun"
+    )
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'fault class':<16}{'executed mode':<15}{'identical':<11}"
+        "fallback reason"
+    )
+    for row in rows:
+        lines.append(
+            f"{row.fault:<16}{row.executed_mode:<15}"
+            f"{'yes' if row.identical else 'NO':<11}"
+            f"{row.fallback_reason or '-'}"
+        )
+    modes = [row.executed_mode for row in rows]
+    lines.append(
+        f"executed modes: {modes.count('batch')} batch / "
+        f"{modes.count('scalar')} scalar; artifacts identical on "
+        f"{sum(row.identical for row in rows)}/{len(rows)} fault classes"
+    )
+    return "\n".join(lines)
+
+
 def robustness_report(
     sweep: Optional[WanSweep] = None,
     config: Optional[SweepConfig] = None,
@@ -294,4 +426,13 @@ def robustness_report(
         sweep.config.timeouts, key=lambda t: abs(t - CANONICAL_TIMEOUT)
     )
     cells = measure_robustness(sweep, seed=seed, timeout=timeout)
-    return render_robustness(cells, timeout)
+    stack_rows = event_stack_crosscheck(
+        sweep.config.n, sweep.config.rounds_per_run, timeout, seed=seed
+    )
+    return (
+        render_robustness(cells, timeout)
+        + "\n\n"
+        + render_event_stack(
+            stack_rows, sweep.config.rounds_per_run, timeout
+        )
+    )

@@ -59,7 +59,9 @@ from typing import Optional
 from repro.adaptive import (
     ScenarioConfig,
     adaptive_report,
+    render_live_extraction,
     run_adaptive_scenario,
+    run_live_extraction,
 )
 from repro.analysis import expected_decision_rounds, find_crossover
 from repro.check import conformance_report, run_conformance
@@ -400,13 +402,18 @@ def main(argv: list[str] | None = None) -> int:
             comparison = run_adaptive_scenario(
                 ScenarioConfig(), metrics=metrics
             )
+            live = run_live_extraction(ScenarioConfig(), metrics=metrics)
             (args.out / "adaptive.txt").write_text(
-                adaptive_report(comparison) + "\n"
+                adaptive_report(comparison)
+                + "\n\n"
+                + render_live_extraction(live)
+                + "\n"
             )
         print(
             f"  wrote {args.out / 'adaptive.txt'} "
             f"(regret {comparison.regret_seconds:+.2f}s, "
-            f"{comparison.total_violations} violations)",
+            f"{comparison.total_violations} violations, live extraction "
+            f"mode={live.executed_mode})",
             flush=True,
         )
 

@@ -75,6 +75,16 @@ class ChurningOracle(Oracle):
         if observe is not None:
             observe(round_number, delivered)
 
+    def __getattr__(self, name: str):
+        # The per-row observation seams (observe_row / observe_rows) —
+        # and any future feed the base detector grows — pass straight
+        # through; churn perturbs queries, never observations.  Only
+        # exposed when the base actually has them, so feature probes
+        # (``getattr(oracle, "observe_row", None)``) stay accurate.
+        if name in ("observe_row", "observe_rows"):
+            return getattr(self._base, name)
+        raise AttributeError(name)
+
 
 def inject_lockstep(
     plan: FaultPlan, schedule: Schedule, oracle: Oracle

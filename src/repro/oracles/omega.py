@@ -28,7 +28,7 @@ of the delivery matrices, as a real implementation's would.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -91,6 +91,76 @@ class HeartbeatOmega(Oracle):
         if cleared:
             self._suspicions_cleared.inc(cleared)
         self._suspected = suspected
+
+    def observe_row(
+        self, pid: int, round_number: int, heard_row: np.ndarray
+    ) -> None:
+        """Feed one process's view of one round: ``heard_row[src]`` says
+        whether ``pid`` heard ``src`` this round.
+
+        The detector is local — :meth:`query`/:meth:`trusted`/:meth:`alive`
+        for ``pid`` read only row ``pid`` of the freshness map — so the
+        event-driven path can report each node's round observation the
+        moment that node's round ends, instead of waiting to assemble the
+        full matrix.  A sequence of per-row observations is exactly
+        equivalent to :meth:`observe` of the assembled matrix: same
+        freshness map, same suspicion counters (summed per row).
+        """
+        heard_row = np.asarray(heard_row, dtype=bool)
+        if heard_row.shape != (self.n,):
+            raise ValueError("delivery row has wrong shape")
+        heard = heard_row.copy()
+        heard[pid] = True
+        row = self._last_heard[pid]
+        np.maximum(row, np.where(heard, round_number, row), out=row)
+        suspected = row < (round_number - self.suspicion_rounds)
+        raised = int(np.count_nonzero(suspected & ~self._suspected[pid]))
+        cleared = int(np.count_nonzero(~suspected & self._suspected[pid]))
+        if raised:
+            self._suspicions_raised.inc(raised)
+        if cleared:
+            self._suspicions_cleared.inc(cleared)
+        self._suspected[pid] = suspected
+
+    def observe_rows(
+        self,
+        round_number: int,
+        delivered: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Feed one round's delivery matrix for a subset of receivers.
+
+        Equivalent to calling :meth:`observe_row` for each pid in
+        ``rows`` (all of them when ``rows`` is ``None``), vectorized:
+        by row-locality the per-row updates are independent, and the
+        suspicion counters receive the same totals (per-row increments
+        sum).  This is the bulk seam the batched round-sync executor
+        uses to replay each round's observations in one pass.
+        """
+        delivered = np.asarray(delivered, dtype=bool)
+        if delivered.shape != (self.n, self.n):
+            raise ValueError("delivery matrix has wrong shape")
+        sel = (
+            np.arange(self.n)
+            if rows is None
+            else np.asarray(list(rows), dtype=int)
+        )
+        if sel.size == 0:
+            return
+        heard = delivered[sel].copy()
+        heard[np.arange(sel.size), sel] = True
+        block = self._last_heard[sel]
+        np.maximum(block, np.where(heard, round_number, block), out=block)
+        self._last_heard[sel] = block
+        suspected = block < (round_number - self.suspicion_rounds)
+        previous = self._suspected[sel]
+        raised = int(np.count_nonzero(suspected & ~previous))
+        cleared = int(np.count_nonzero(~suspected & previous))
+        if raised:
+            self._suspicions_raised.inc(raised)
+        if cleared:
+            self._suspicions_cleared.inc(cleared)
+        self._suspected[sel] = suspected
 
     def alive(self, pid: int, round_number: int) -> np.ndarray:
         """Mask of processes inside ``pid``'s trust window at ``round_number``.

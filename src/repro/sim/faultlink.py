@@ -41,6 +41,13 @@ class FaultyLinkModel:
     generic ``"fault"`` otherwise, or ``None`` when the base model itself
     lost the message (natural link loss).  The transport reads this side
     channel to attribute drops.
+
+    When the wrapped ``base`` is itself streamable, the transport does
+    not call :meth:`sample_latency` at all: it streams the base's
+    per-link substreams directly and consults ``faults`` per message
+    (see :class:`~repro.sim.transport.Transport`).  On that path every
+    message consumes one base draw even if dropped, unlike the scalar
+    path below, which skips the base sample for dropped messages.
     """
 
     def __init__(self, base: LinkModel, faults: LinkFaults) -> None:

@@ -75,9 +75,20 @@ class Transport:
     (:meth:`~repro.net.base.LatencyModel.link_stream`), so a link's
     latency sequence is independent of global send interleaving.  Dynamic
     models (a :class:`~repro.net.planetlab.PlanetLabProfile` in a
-    slow-Poland run) and fault wrappers installed via the
-    :attr:`link_model` setter fall back to scalar
-    ``sample_latency`` — time-dependent behaviour cannot be pre-sampled.
+    slow-Poland run) fall back to scalar ``sample_latency`` —
+    time-dependent behaviour cannot be pre-sampled.
+
+    A fault wrapper (anything exposing ``base``/``faults`` attributes,
+    like :class:`~repro.sim.faultlink.FaultyLinkModel`) around a
+    streamable base keeps the stream path: the *base* model is streamed
+    and the fault policy is consulted per message on top.  On this path
+    every message consumes exactly one base draw from its link's
+    substream — including messages the policy then drops — so the ``i``-th
+    message a link carries always sees the link's ``i``-th pre-sampled
+    latency, whatever the faults do.  (The scalar wrapper skips the base
+    draw for dropped messages; the stream path deliberately does not,
+    which is what lets :mod:`repro.sync.batch` pre-sample whole fault
+    windows.)  Wrappers around non-streamable bases still fall back.
 
     With ``trace=True`` every delivery is recorded; payload *objects* are
     only retained when ``trace_payloads=True``, so long robustness runs
@@ -102,7 +113,7 @@ class Transport:
         self._trace_payloads = trace_payloads
         self._batch_streams = batch_streams
         self._streams: dict[tuple[int, int], tuple] = {}
-        self._streams_usable = self._model_streamable(link_model)
+        self._configure_streams(link_model)
         self.deliveries: list[Delivery] = []
         self.messages_sent = 0
         self.messages_lost = 0
@@ -120,6 +131,30 @@ class Transport:
             getattr(model, "supports_batch_trace", False)
             and getattr(model, "is_time_invariant", False)
         )
+
+    def _configure_streams(self, model: LinkModel) -> None:
+        """Resolve which model feeds the stream path, and through what.
+
+        Three outcomes: a streamable model streams directly (no fault
+        policy); a fault wrapper exposing ``base``/``faults`` whose base
+        is streamable streams the base and applies the policy per
+        message; anything else disables the stream path.
+        """
+        if self._model_streamable(model):
+            self._stream_base: Optional[LinkModel] = model
+            self._stream_faults = None
+            self._streams_usable = True
+            return
+        base = getattr(model, "base", None)
+        faults = getattr(model, "faults", None)
+        if base is not None and faults is not None and self._model_streamable(base):
+            self._stream_base = base
+            self._stream_faults = faults
+            self._streams_usable = True
+            return
+        self._stream_base = None
+        self._stream_faults = None
+        self._streams_usable = False
 
     def _count_drop(self, cause: str, src: int, dst: int, now: float) -> None:
         counter = self._drop_counters.get(cause)
@@ -140,15 +175,26 @@ class Transport:
         return self._metrics.enabled or self._recorder.enabled
 
     @property
+    def recorder_enabled(self) -> bool:
+        """Whether a live per-event recorder observes this transport."""
+        return self._recorder.enabled
+
+    @property
     def stream_sampling_active(self) -> bool:
         """Whether sends currently consume pre-sampled per-link streams.
 
         True iff stream consumption is enabled *and* the installed model
-        is batch-capable and time-invariant; batched executors
-        (:mod:`repro.sync.batch`) require it, since only then do the
-        scalar and batched paths draw bit-identical latency sequences.
+        (or a fault wrapper's base) is batch-capable and time-invariant;
+        batched executors (:mod:`repro.sync.batch`) require it, since
+        only then do the scalar and batched paths draw bit-identical
+        latency sequences.
         """
         return self._batch_streams and self._streams_usable
+
+    @property
+    def stream_fault_policy(self) -> Optional[Any]:
+        """The per-message fault policy riding on the stream path, if any."""
+        return self._stream_faults
 
     @property
     def streams_started(self) -> bool:
@@ -165,30 +211,32 @@ class Transport:
     @link_model.setter
     def link_model(self, model: LinkModel) -> None:
         self._link_model = model
-        # A new model (typically a fault wrapper) invalidates pre-sampled
-        # streams; wrappers are not batch-capable, so this also flips the
-        # transport onto the scalar fallback path.
+        # A new model invalidates pre-sampled streams.  A fault wrapper
+        # around a streamable base keeps the stream path (the base is
+        # streamed, the policy applied per message); anything else flips
+        # the transport onto the scalar fallback path.
         self._streams.clear()
-        self._streams_usable = self._model_streamable(model)
+        self._configure_streams(model)
 
     def reset_link_streams(self) -> None:
         """Discard pre-sampled per-link latencies (e.g. after a model
         ``reseed``); the next send per link re-derives its substream."""
         self._streams.clear()
-        self._streams_usable = self._model_streamable(self._link_model)
+        self._configure_streams(self._link_model)
 
     def _next_stream_latency(self, src: int, dst: int) -> Optional[float]:
         """Pop the next pre-sampled latency of the link ``src → dst``."""
         key = (src, dst)
+        model = self._stream_base
         state = self._streams.get(key)
         if state is None:
-            state = [self._link_model.link_stream(src, dst), np.empty(0), 0]
+            state = [model.link_stream(src, dst), np.empty(0), 0]
             self._streams[key] = state
         rng, chunk, cursor = state
         if cursor >= chunk.shape[0]:
             # Time-invariant models ignore send times; any placeholder
             # vector of the right length works.
-            chunk = self._link_model.sample_link_batch(
+            chunk = model.sample_link_batch(
                 src, dst, np.zeros(STREAM_CHUNK), rng
             )
             cursor = 0
@@ -208,12 +256,29 @@ class Transport:
         now = self._simulator.now
         self.messages_sent += 1
         self._sent_counter.inc()
+        cause: Optional[str] = None
         if src == dst:
             latency: Optional[float] = 0.0
         elif self._batch_streams and self._streams_usable:
+            # One base draw per message, unconditionally — the fault
+            # policy decides on top, without perturbing the substream.
             latency = self._next_stream_latency(src, dst)
+            faults = self._stream_faults
+            if faults is not None:
+                if faults.drop(src, dst, now):
+                    latency = None
+                    cause = getattr(faults, "last_drop_cause", None) or "fault"
+                elif latency is not None:
+                    factor = faults.latency_factor(src, dst, now)
+                    if factor != 1.0:
+                        latency = latency * factor
         else:
             latency = self._link_model.sample_latency(src, dst, now)
+            if latency is None:
+                # Fault-aware link models (FaultyLinkModel) publish why
+                # the last sample was dropped; a bare link model's loss
+                # is natural "link" loss.
+                cause = getattr(self._link_model, "last_drop_cause", None)
         record: Optional[Delivery] = None
         if self._trace:
             record = Delivery(
@@ -226,11 +291,7 @@ class Transport:
             self.deliveries.append(record)
         if latency is None:
             self.messages_lost += 1
-            # Fault-aware link models (FaultyLinkModel) publish why the last
-            # sample was dropped; a bare link model's loss is natural "link"
-            # loss.
-            cause = getattr(self._link_model, "last_drop_cause", None) or "link"
-            self._count_drop(cause, src, dst, now)
+            self._count_drop(cause or "link", src, dst, now)
             return
         self._latency_hist.observe(latency)
 

@@ -2,7 +2,7 @@
 
 The measurement experiments run the Section 5.1 protocol with the
 all-to-all probe stream (:class:`~repro.sync.heartbeat.HeartbeatAlgorithm`)
-over a clean, time-invariant network.  In that configuration the protocol
+over a time-invariant network.  In that configuration the protocol
 degenerates into perfect lockstep: every node starts round ``k`` at the
 same instant, no future-round message ever arrives (a message can never
 outrun its own round's start), so no node ever jumps, and every round
@@ -18,18 +18,32 @@ This module computes the same run in a handful of NumPy passes:
    in the same :data:`~repro.sim.transport.STREAM_CHUNK`-sized draws the
    transport's stream path makes, so the two paths consume bit-identical
    random values;
-3. timeliness, late arrivals, and loss counts are evaluated as whole
+3. a :class:`~repro.faults.plan.FaultPlan`'s link-level faults are applied
+   as whole-array passes per *epoch* — the maximal grid segments over
+   which the plan's per-round state (who is down, which links are
+   partitioned, which nodes are slowed, whether any burst is live) is
+   constant — consuming the identical decisions the scalar
+   :class:`~repro.faults.event.PlanLinkFaults` policy makes;
+4. timeliness, late arrivals, and loss counts are evaluated as whole
    ``(rounds, n, n)`` arrays, applying the event queue's tie rules
    (a delivery and a round timer at the same timestamp fire in
    scheduling-sequence order) in closed form;
-4. the per-node observation state (``round_starts``, ``round_ends``,
+5. transport and round-sync telemetry (``repro.obs`` counters and the
+   latency histogram) is bulk-accumulated from the same arrays,
+   equivalent to the scalar path's per-event increments, and
+   oracle-bearing runs replay each round's delivery rows into
+   :class:`~repro.oracles.omega.HeartbeatOmega` through its row-local
+   bulk seam;
+6. the per-node observation state (``round_starts``, ``round_ends``,
    ``timely_receipts``, counters) is written back onto the
    :class:`~repro.sync.round_sync.SyncedNode` objects and the ordinary
    :meth:`SyncRun._collect` assembles the result — result construction
-   runs through the identical code as the scalar path.
+   (including the ``on_round_matrix`` observer replay) runs through the
+   identical code as the scalar path.
 
 Bit-identity (same matrices, ``sync_error``, ``jumps``,
-``late_messages``, decision rounds) is asserted by
+``late_messages``, decision rounds — and, for instrumented runs, the
+same metric totals) is asserted by
 ``tests/properties/test_prop_sync_batch.py`` and by the scalar-vs-batched
 axis of :mod:`repro.check.differential`.
 
@@ -60,6 +74,29 @@ A future-round message is impossible: a round-``k`` message arrives at
 delivered the receiver has already begun round ``k`` (a zero-latency
 delivery is scheduled *after* the receiver's begin block of the same
 instant, by the sequence argument above).  Hence no jumps, ever.
+
+Crashes at round granularity keep the lockstep shape
+----------------------------------------------------
+
+A permanent crash of ``pid`` is an event at ``c = (at_round - 1) * tau``
+scheduled *before* the simulation starts, so at any shared timestamp it
+fires before deliveries and round timers (smaller sequence number) but
+after the boot events.  Consequences, all closed-form:
+
+- ``pid`` begins round ``k >= 2`` iff ``t[k-1] < c`` strictly (at a tie
+  the crash cancels the pending round-``(k-1)`` timer first), and always
+  begins round 1 (boots precede the crash even at ``t = 0``);
+- ``pid`` never ends its last begun round ``b`` — in every tie case the
+  crash wins against the timer — so it ends exactly rounds ``1..b-1``;
+- a delivery to ``pid`` is received iff ``arrival < c`` strictly (at a
+  tie the crash fires first), whether timely or late;
+- a crash whose time falls before the (uniform) boot instant is a no-op
+  on the node — the crash hook finds it not yet running — though the
+  scheduled event still fires and counts as an activation.
+
+The surviving majority (guaranteed by ``FaultPlan`` validation) keeps
+the common grid: every non-crashed node runs all ``R`` rounds on the
+same boundaries, which is what keeps the whole run vectorizable.
 """
 
 from __future__ import annotations
@@ -68,7 +105,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.faults.event import PlanLinkFaults
+from repro.faults.lockstep import ChurningOracle
 from repro.giraf.oracle import NullOracle
+from repro.oracles.omega import HeartbeatOmega
 from repro.sim.transport import STREAM_CHUNK, Transport
 from repro.sync.heartbeat import HeartbeatAlgorithm
 from repro.sync.round_sync import MIN_ROUND_FRACTION, SyncRun, SyncRunResult
@@ -120,37 +160,65 @@ def batch_ineligible_reason(
 ) -> Optional[str]:
     """Why ``run`` cannot take the batched path, or ``None`` if it can.
 
-    The batched path reproduces the scalar event loop bit-for-bit only
-    under the perfect-lockstep preconditions; anything that could make a
-    node jump, crash, observe, or consume randomness differently forces
-    the scalar path.  The returned string is surfaced as
-    :attr:`SyncRun.fallback_reason`.
+    The batched path reproduces the scalar event loop bit-for-bit for
+    lockstep-uniform heartbeat runs — now including runs with a
+    round-granular :class:`~repro.faults.plan.FaultPlan` (permanent
+    crashes, loss bursts, partitions, slow nodes, leader churn), live
+    telemetry, observers, and a :class:`HeartbeatOmega` oracle.  What
+    still forces the scalar path is anything that can move a node off
+    the common round grid (crash *recovery*, clock steps), randomness
+    that cannot be pre-sampled (dynamic link models, non-plan fault
+    policies), or per-event instrumentation with event-level semantics
+    (the JSONL recorder, delivery tracing).  The returned string is the
+    fallback taxonomy, surfaced as :attr:`SyncRun.fallback_reason` and
+    counted per run in the ``sync.batch_fallback`` counter family.
     """
-    if run.fault_plan is not None:
-        return "fault plan installed"
-    if run.observers:
-        return "observers attached"
-    if run.metrics.enabled or run.recorder.enabled:
-        return "run telemetry (metrics/recorder) enabled"
     for node in run.nodes:
         if node.process.round != 0 or node.running or node.crashed:
             return "a node already started"
+    if run.recorder.enabled:
+        return "run recorder enabled"
     transport = run.transport
     if type(transport) is not Transport:
         return f"transport subclass {type(transport).__name__}"
     if transport.trace_enabled:
         return "delivery tracing enabled"
-    if transport.instrumented:
-        return "transport telemetry (metrics/recorder) enabled"
+    if transport.recorder_enabled:
+        return "transport recorder enabled"
     if not transport.stream_sampling_active:
         return "link model is not batch-capable and time-invariant"
     if transport.streams_started or transport.messages_sent:
         return "transport already carried traffic"
+    plan = run.fault_plan
+    policy = transport.stream_fault_policy
+    if plan is not None:
+        if plan.clock_steps:
+            return "fault plan schedules clock steps"
+        if any(c.recover_round is not None for c in plan.crashes):
+            return "fault plan schedules crash recovery"
+        if policy is None:
+            return "fault plan without its link fault policy"
+        if type(policy) is not PlanLinkFaults or policy.plan is not plan:
+            return "fault policy does not match the run's plan"
+        if policy.timeout != run._plan_timeout:
+            return "fault policy timeout differs from the plan's round grid"
+        if policy._burst_counters or policy._seen_activations:
+            return "fault policy already consumed"
+    elif policy is not None:
+        return "link fault policy without a matching plan"
+    oracles = {id(node.oracle) for node in run.nodes}
+    if len(oracles) != 1:
+        return "nodes use distinct oracle instances"
+    oracle = run.nodes[0].oracle
+    inner = oracle._base if isinstance(oracle, ChurningOracle) else oracle
+    if type(inner) is HeartbeatOmega:
+        if inner.n != run.n:
+            return "oracle dimension mismatch"
+    elif type(inner) is not NullOracle:
+        return f"oracle {type(inner).__name__} is not batch-supported"
     for node in run.nodes:
         if type(node.process.algorithm) is not HeartbeatAlgorithm:
             return "algorithm is not the heartbeat probe stream"
-        if type(node.oracle) is not NullOracle:
-            return "oracle is not the null oracle"
         if node.max_rounds != run.max_rounds:
             return "per-node max_rounds override"
     if len({node.timeout for node in run.nodes}) != 1:
@@ -161,6 +229,33 @@ def batch_ineligible_reason(
         return "staggered start times"
     if run.simulator.events_processed or run.simulator.pending_events != run.n:
         return "simulator already used or extra events scheduled"
+    return _time_limit_reason(run, time_limit)
+
+
+def _time_limit_reason(run: SyncRun, time_limit: float) -> Optional[str]:
+    """O(1) in the common case: decide the time-limit check from a
+    closed-form bound on the accumulated grid end, materializing the
+    exact O(R) grid only when the limit falls inside the bound's
+    uncertainty band.
+
+    The exact grid end ``t[R]`` is ``R`` sequential IEEE additions of
+    ``step`` onto ``start``; each addition perturbs by at most one ulp
+    of its (monotone, for positive steps bounded by the larger of the
+    endpoints') running value, so ``|t[R] - (start + R*step)|`` is below
+    ``(R + 4) * 2^-52 * max(|start|, |start + R*step|, |step|)`` with a
+    2x safety factor folded in.  Limits clear of that band need no grid.
+    """
+    node = run.nodes[0]
+    duration = max(node.timeout, MIN_ROUND_FRACTION * node.timeout)
+    step = node.clock.global_duration(duration)
+    start = node.start_time
+    naive = start + run.max_rounds * step
+    scale = max(abs(start), abs(naive), abs(step))
+    margin = (run.max_rounds + 4) * 2.0 ** -52 * scale
+    if naive + margin <= time_limit:
+        return None
+    if naive - margin > time_limit:
+        return "time limit truncates the run"
     if _round_grid(run)[-1] > time_limit:
         return "time limit truncates the run"
     return None
@@ -185,25 +280,35 @@ def _round_grid(run: SyncRun) -> list[float]:
     return times
 
 
-def _presample_links(run: SyncRun, rounds: int) -> np.ndarray:
-    """Latency block ``[k, dst, src]`` for rounds ``1..rounds``.
+def _presample_links(run: SyncRun, per_src_rounds: np.ndarray) -> np.ndarray:
+    """Latency block ``[k, dst, src]`` for each link's sent rounds.
 
-    Each directed link draws from its own substream in
-    :data:`STREAM_CHUNK`-sized chunks — the same calls, on the same
-    generator, in the same order as
+    ``per_src_rounds[src]`` is how many rounds ``src`` actually begins
+    (and therefore broadcasts in): the scalar path consumes exactly one
+    base draw per sent message per link, so each directed link
+    ``src -> dst`` must draw exactly that many values — a crashed
+    source's links stop mid-stream, and drawing further would desync the
+    link generators from the scalar path.  Each link draws from its own
+    substream in :data:`STREAM_CHUNK`-sized chunks — the same calls, on
+    the same generator, in the same order as
     :meth:`Transport._next_stream_latency` — so the values are
     bit-identical to what the scalar path would consume.  The consumed
     stream state is installed back into the transport, leaving it
     exactly as a scalar run would.  Lost messages are ``+inf``; the
-    diagonal (never sent) is ``+inf`` too and masked out by callers.
+    diagonal and never-sent rounds are ``+inf`` too and masked out by
+    callers.
     """
     transport = run.transport
-    model = transport.link_model
+    model = transport._stream_base
     n = run.n
+    rounds = run.max_rounds
     block = np.full((rounds, n, n), np.inf)
-    chunks_needed = -(-rounds // STREAM_CHUNK)  # ceil
     placeholder = np.zeros(STREAM_CHUNK)
     for src in range(n):
+        draws = int(per_src_rounds[src])
+        if draws <= 0:
+            continue
+        chunks_needed = -(-draws // STREAM_CHUNK)  # ceil
         for dst in range(n):
             if src == dst:
                 continue
@@ -212,79 +317,321 @@ def _presample_links(run: SyncRun, rounds: int) -> np.ndarray:
                 model.sample_link_batch(src, dst, placeholder, rng)
                 for _ in range(chunks_needed)
             ]
-            if chunks:
-                column = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-                block[:, dst, src] = column[:rounds]
-                cursor = (rounds - 1) % STREAM_CHUNK + 1
-                transport._streams[(src, dst)] = [rng, chunks[-1], cursor]
+            column = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            block[:draws, dst, src] = column[:draws]
+            cursor = (draws - 1) % STREAM_CHUNK + 1
+            transport._streams[(src, dst)] = [rng, chunks[-1], cursor]
     return block
+
+
+def _plan_round_state(
+    plan, pr: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-grid-round fault state, computed once per *epoch*.
+
+    The plan's per-round predicates (``down_at``, ``partitioned``,
+    ``slow_factor``, burst activity) are step functions of the plan
+    round, changing only at window boundaries.  Segmenting the grid at
+    those boundaries and evaluating the plan's own methods once per
+    epoch gives exactness for free: a handful of Python calls instead of
+    one per message.
+
+    Returns ``(down, cross, slow, burst_any)`` with shapes
+    ``(R, n)``, ``(R, n, n)`` (``[dst, src]``), ``(R, n)``, ``(R,)``.
+    """
+    bounds: set[int] = set()
+    for crash in plan.crashes:
+        bounds.add(crash.at_round)
+    for partition in plan.partitions:
+        bounds.add(partition.start_round)
+        bounds.add(partition.heal_round)
+    for burst in plan.loss_bursts:
+        bounds.add(burst.start_round)
+        bounds.add(burst.end_round + 1)
+    for slow in plan.slow_nodes:
+        bounds.add(slow.start_round)
+        bounds.add(slow.end_round + 1)
+    edges = np.asarray(sorted(bounds), dtype=np.int64)
+    eid = np.searchsorted(edges, pr, side="right")
+    _, first, inverse = np.unique(eid, return_index=True, return_inverse=True)
+    epochs = first.size
+    down_e = np.zeros((epochs, n), dtype=bool)
+    cross_e = np.zeros((epochs, n, n), dtype=bool)
+    slow_e = np.ones((epochs, n))
+    burst_e = np.zeros(epochs, dtype=bool)
+    for i, idx in enumerate(first):
+        q = int(pr[idx])
+        down_e[i] = [plan.down_at(pid, q) for pid in range(n)]
+        slow_e[i] = [plan.slow_factor(pid, q) for pid in range(n)]
+        for src in range(n):
+            for dst in range(n):
+                if src != dst and plan.partitioned(src, dst, q):
+                    cross_e[i, dst, src] = True
+        burst_e[i] = any(b.active_at(q) for b in plan.loss_bursts)
+    return down_e[inverse], cross_e[inverse], slow_e[inverse], burst_e[inverse]
+
+
+def _bulk_drop(transport: Transport, cause: str, count: int) -> None:
+    """Mirror ``count`` scalar ``_count_drop`` calls, creating the
+    per-cause counter lazily exactly as the scalar path does (a
+    zero-valued counter the scalar path never created would break
+    snapshot equality)."""
+    if not count:
+        return
+    counter = transport._drop_counters.get(cause)
+    if counter is None:
+        counter = transport._metrics.counter("transport.dropped", cause=cause)
+        transport._drop_counters[cause] = counter
+    counter.inc(count)
 
 
 def run_batched(run: SyncRun, time_limit: float) -> SyncRunResult:
     """Execute an eligible ``run`` on the batched path.
 
-    Writes the same observation state onto the nodes, the transport, and
-    the simulator clock that the scalar event loop would have left
-    behind — ``round_starts``/``round_ends``/``timely_receipts`` dicts,
-    late-message counters, stream cursors, ``messages_sent``/``lost`` —
-    then delegates to :meth:`SyncRun._collect`, so the result is
-    assembled by the very same code as the scalar path.
+    Writes the same observation state onto the nodes, the transport, the
+    metrics registries, the oracle, and the simulator clock that the
+    scalar event loop would have left behind —
+    ``round_starts``/``round_ends``/``timely_receipts`` dicts,
+    late-message counters, stream cursors and fault-policy state,
+    ``messages_sent``/``lost``, counter and histogram totals — then
+    delegates to :meth:`SyncRun._collect`, so the result (and the
+    ``on_round_matrix`` observer replay) is assembled by the very same
+    code as the scalar path.
 
     Not mirrored (documented divergence): per-process inboxes, the
-    pending outgoing :class:`~repro.giraf.kernel.RoundOutput`, and the
-    simulator's ``events_processed`` counter; none of them feed
-    :class:`~repro.sync.round_sync.SyncRunResult`.
+    pending outgoing :class:`~repro.giraf.kernel.RoundOutput`, the
+    simulator's ``events_processed``/pending-event bookkeeping, and the
+    fault policy's transient ``last_drop_cause``; none of them feed
+    :class:`~repro.sync.round_sync.SyncRunResult` or the metric totals.
     """
     n = run.n
     rounds = run.max_rounds
     times = _round_grid(run)
     assert times[-1] <= time_limit, "eligibility must pre-check the grid"
 
-    latencies = _presample_links(run, rounds)
     starts = np.asarray(times[:-1])
     ends = np.asarray(times[1:])
     stop = times[-1]
+    transport = run.transport
+    plan = run.fault_plan
+    policy = transport.stream_fault_policy
 
-    arrival = starts[:, None, None] + latencies
-    finite = np.isfinite(arrival)
+    # ------------------------------------------------------------------
+    # Node-level crash schedule (permanent crashes only; eligibility
+    # rejects recoveries and clock steps).
+    # ------------------------------------------------------------------
+    crash_time = np.full(n, np.inf)
+    crash_events_fired = 0
+    if plan is not None:
+        run._faults_scheduled = True
+        tau = run._plan_timeout
+        for crash in plan.crashes:
+            c = (crash.at_round - 1) * tau  # the exact scalar expression
+            if c <= stop:
+                crash_events_fired += 1
+            if c < crash_time[crash.pid]:
+                crash_time[crash.pid] = c
+    # A crash event is *effective* only if the node is already running
+    # when it fires; one scheduled before the (uniform) boot instant
+    # finds the node not yet booted and does nothing.
+    effective = (crash_time <= stop) & (crash_time >= starts[0])
+    begun = np.full(n, rounds, dtype=np.int64)
+    for pid in np.flatnonzero(effective):
+        begun[pid] = min(
+            rounds,
+            1 + int(np.count_nonzero(starts[1:] < crash_time[pid])),
+        )
+    ended = np.where(effective, begun - 1, rounds)
+    # Receives of a crashed node stop strictly before its crash instant.
+    cut = np.where(effective, crash_time, np.inf)
+
+    # ------------------------------------------------------------------
+    # Pre-sample every link's latency stream (one draw per sent message,
+    # dropped or not — the stream path's contract) and overlay the
+    # plan's epoch-constant link faults.
+    # ------------------------------------------------------------------
+    latencies = _presample_links(run, begun)
+    k_index = np.arange(1, rounds + 1)
+    off_diag = ~np.eye(n, dtype=bool)
+    sent = (k_index[:, None, None] <= begun[None, None, :]) & off_diag
+
+    if plan is not None:
+        # The plan's round grid is anchored to wall time through the
+        # construction timeout; grid round k maps to the plan round
+        # covering its start instant — the same expression
+        # PlanLinkFaults.round_of evaluates per message.
+        pr = np.maximum(
+            1, (starts // run._plan_timeout).astype(np.int64) + 1
+        )
+        down, cross, slow, burst_any = _plan_round_state(plan, pr, n)
+        crash_drop = sent & (down[:, :, None] | down[:, None, :])
+        part_drop = sent & ~crash_drop & cross
+        burst_drop = np.zeros_like(sent)
+        if burst_any.any():
+            # Burst decisions ride the policy's own per-link counters and
+            # SHA draws: calling the installed policy for exactly the
+            # messages whose scalar drop() call would reach the burst
+            # loop — per link, in round order — reproduces counters,
+            # draws, activations and metrics verbatim.
+            candidate = sent & ~crash_drop & ~cross & burst_any[:, None, None]
+            for src in range(n):
+                for dst in range(n):
+                    if src == dst:
+                        continue
+                    for k in np.flatnonzero(candidate[:, dst, src]):
+                        if policy.drop(src, dst, float(starts[k])):
+                            burst_drop[k, dst, src] = True
+        fault_drop = crash_drop | part_drop | burst_drop
+        factor = slow[:, :, None] * slow[:, None, :]
+        values = np.where(factor != 1.0, latencies * factor, latencies)
+        # Fault-episode activation telemetry the skipped scalar drop()
+        # calls would have produced, deduplicated the same way.
+        if crash_events_fired:
+            run.metrics.counter("faults.activations", kind="crash").inc(
+                crash_events_fired
+            )
+        last_pr = int(pr[-1])
+        for index, crash in enumerate(plan.crashes):
+            # Messages touch every process in every round (the healthy
+            # majority keeps broadcasting), so a crash-link episode fires
+            # iff the run reaches its first down round.
+            if last_pr >= crash.at_round:
+                policy._activate("crash-link", index)
+        if part_drop.any():
+            part_rounds = part_drop.any(axis=(1, 2))
+            for q in np.unique(pr[part_rounds]):
+                for index, partition in enumerate(plan.partitions):
+                    if partition.active_at(int(q)):
+                        policy._activate("partition", index)
+    else:
+        fault_drop = np.zeros_like(sent)
+        values = latencies
+
+    deliverable = sent & ~fault_drop & np.isfinite(values)
+    natural_lost = sent & ~fault_drop & np.isinf(values)
+    arrival = starts[:, None, None] + values
+
+    # ------------------------------------------------------------------
+    # The event queue's tie rules, in closed form.
+    # ------------------------------------------------------------------
     # [dst, src] orientation: rows are receivers, columns senders.
     src_before_dst = np.arange(n)[None, :] < np.arange(n)[:, None]
     end_col = ends[:, None, None]
-    timely = finite & (
+    received = deliverable & (arrival < cut[None, :, None])
+    timely = received & (
         (arrival < end_col) | ((arrival == end_col) & src_before_dst)
     )
     countable = (arrival < stop) | (
-        (arrival == stop)
-        & (np.arange(rounds)[:, None, None] < rounds - 1)
+        (arrival == stop) & (k_index[:, None, None] < rounds)
     )
-    late = finite & ~timely & countable
+    late = received & ~timely & countable
     late_counts = late.sum(axis=(0, 2))
 
+    # The scalar loop stops at the last surviving node's final timer;
+    # deliveries landing exactly then were scheduled after it (and never
+    # fire) iff they are round-R sends of a higher-pid (crashed) node.
+    last_alive = int(np.flatnonzero(~effective).max())
+    fired = deliverable & (
+        (arrival < stop)
+        | (
+            (arrival == stop)
+            & (
+                (k_index[:, None, None] < rounds)
+                | (np.arange(n)[None, None, :] <= last_alive)
+            )
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Per-node observation state (what _collect and the tests read).
+    # ------------------------------------------------------------------
     for node in run.nodes:
         pid = node.process.pid
+        b = int(begun[pid])
+        e = int(ended[pid])
         receipts: dict[int, set[int]] = {}
         timely_to = timely[:, pid, :]
-        for k in range(1, rounds + 1):
+        for k in range(1, b + 1):
             srcs = set(np.flatnonzero(timely_to[k - 1]).tolist())
             srcs.add(pid)
             receipts[k] = srcs
         node.timely_receipts = receipts
-        node.round_starts = {k: times[k - 1] for k in range(1, rounds + 1)}
-        node.round_ends = {k: times[k] for k in range(1, rounds + 1)}
+        node.round_starts = {k: times[k - 1] for k in range(1, b + 1)}
+        node.round_ends = {k: times[k] for k in range(1, e + 1)}
         node.late_messages = int(late_counts[pid])
         node.jumps = 0
         node.running = False
         node.decision_round = None
-        node.process.round = rounds + 1
-        node.process.algorithm.rounds_computed = rounds
+        if effective[pid]:
+            node.crashed = True
+            node.crashed_permanently = True
+            node.process.round = b
+            node.process.algorithm.rounds_computed = e
+        else:
+            node.process.round = rounds + 1
+            node.process.algorithm.rounds_computed = rounds
+        node._rounds_started.inc(b)
+        node._timeout_fires.inc(e)
+        if late_counts[pid]:
+            node._late_counter.inc(int(late_counts[pid]))
 
-    transport = run.transport
-    off_diagonal = ~np.eye(n, dtype=bool)
-    transport.messages_sent += rounds * n * (n - 1)
-    transport.messages_lost += int(np.isinf(latencies[:, off_diagonal]).sum())
+    # ------------------------------------------------------------------
+    # Transport state and telemetry, bulk-equivalent to per-send work.
+    # ------------------------------------------------------------------
+    sent_total = int(begun.sum()) * (n - 1)
+    transport.messages_sent += sent_total
+    transport._sent_counter.inc(sent_total)
+    lost_total = int(fault_drop.sum()) + int(natural_lost.sum())
+    transport.messages_lost += lost_total
+    if plan is not None:
+        _bulk_drop(transport, "crash", int(crash_drop.sum()))
+        _bulk_drop(transport, "partition", int(part_drop.sum()))
+        _bulk_drop(transport, "loss-burst", int(burst_drop.sum()))
+    _bulk_drop(transport, "link", int(natural_lost.sum()))
+    delivered_total = int(fired.sum())
+    if delivered_total:
+        transport._delivered_counter.inc(delivered_total)
+    # Histogram observations happen at send time, in send order:
+    # round-major, then sender pid, then ascending destination.
+    values_by_send = np.transpose(values, (0, 2, 1))
+    mask_by_send = np.transpose(deliverable, (0, 2, 1))
+    transport._latency_hist.observe_many(values_by_send[mask_by_send])
+
+    # ------------------------------------------------------------------
+    # Oracle and observer replay: the boot queries, then each round's
+    # per-ender row observations and queries, in scalar order.  The
+    # heartbeat detector is row-local, so bulk row observation followed
+    # by in-order queries is bit-equivalent to the interleaved scalar
+    # sequence.  Skipped entirely when nothing listens.
+    # ------------------------------------------------------------------
+    oracle = run.nodes[0].oracle
+    inner = oracle._base if isinstance(oracle, ChurningOracle) else oracle
+    wants_oracle = type(inner) is not NullOracle
+    wants_notify = any(
+        getattr(observer, "on_oracle", None) is not None
+        for observer in run.observers
+    )
+    if wants_oracle or wants_notify:
+        for node in run.nodes:
+            output = oracle.query(node.process.pid, 0)
+            node._notify("on_oracle", node.process.pid, 0, output)
+        observe_rows = getattr(oracle, "observe_rows", None)
+        ends_per_round = [
+            [pid for pid in range(n) if k <= ended[pid]]
+            for k in range(1, rounds + 1)
+        ]
+        for k in range(1, rounds + 1):
+            enders = ends_per_round[k - 1]
+            if not enders:
+                continue
+            if observe_rows is not None:
+                observe_rows(k, timely[k - 1], rows=enders)
+            for pid in enders:
+                output = oracle.query(pid, k)
+                run.nodes[pid]._notify("on_oracle", pid, k, output)
 
     # Leave the simulator where the scalar loop stops: at the last
-    # round-end timer, with the (never-fired) boot events discarded.
+    # surviving round-end timer, with the never-fired events discarded.
     run.simulator.drain()
     run.simulator.fast_forward(stop)
     return run._collect()

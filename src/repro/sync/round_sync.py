@@ -154,6 +154,16 @@ class SyncedNode:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        # Heartbeat-style detectors (HeartbeatOmega) take each node's
+        # round observation live, the moment the round ends — the event
+        # stack's answer to the lockstep runner's per-round ``observe``
+        # matrix.  The row is this node's local view only; detectors
+        # exposing the seam are row-local by contract.
+        observe_row = getattr(self.oracle, "observe_row", None)
+        if observe_row is not None:
+            row = np.zeros(len(self.latency_estimates), dtype=bool)
+            row[list(self.timely_receipts.get(k, ()))] = True
+            observe_row(self.process.pid, k, row)
         output = self.oracle.query(self.process.pid, k)
         self._notify("on_oracle", self.process.pid, k, output)
         self.process.end_of_round(output, next_round=next_round)
@@ -463,13 +473,20 @@ class SyncRun:
             if reason is None:
                 self.executed_mode = "batch"
                 self.fallback_reason = None
+                self.metrics.counter(
+                    "sync.executed_mode", mode="batch"
+                ).inc()
                 return run_batched(self, time_limit)
             if mode == "batch":
                 raise ValueError(
                     f"batch mode requested but the run is ineligible: {reason}"
                 )
             self.fallback_reason = reason
+            # The fallback taxonomy, as telemetry: one increment per run
+            # that wanted the fast path and couldn't take it.
+            self.metrics.counter("sync.batch_fallback", reason=reason).inc()
         self.executed_mode = "scalar"
+        self.metrics.counter("sync.executed_mode", mode="scalar").inc()
         if self.fault_plan is not None and not self._faults_scheduled:
             self._faults_scheduled = True
             self._schedule_node_faults(self.fault_plan, self._plan_timeout)

@@ -152,3 +152,35 @@ class TestReplicaGroupHooks:
         # Different slots decide different commands; a per-slot suite
         # must not read that as an agreement violation.
         assert group.violations == []
+
+
+class TestLiveExtraction:
+    """The extractor fed from the event stack's batched hot path."""
+
+    @pytest.fixture(scope="class")
+    def live(self):
+        from repro.adaptive import run_live_extraction
+
+        return run_live_extraction(ScenarioConfig())
+
+    def test_churn_plan_rides_the_batch_path(self, live):
+        assert live.executed_mode == "batch", live.fallback_reason
+        assert live.fallback_reason is None
+
+    def test_scalar_replay_is_identical(self, live):
+        assert live.identical
+
+    def test_extractor_saw_the_full_window(self, live):
+        assert live.window_rounds == ScenarioConfig().window
+
+    def test_post_heal_window_recommends_something(self, live):
+        # The run ends well past the heal point, so at least one
+        # (model, timeout) cell must have held in the final window.
+        assert live.recommendation is not None
+
+    def test_report_renders(self, live):
+        from repro.adaptive import render_live_extraction
+
+        text = render_live_extraction(live)
+        assert "executed mode: batch" in text
+        assert "scalar replay identical" in text

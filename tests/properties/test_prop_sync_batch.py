@@ -18,8 +18,18 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.check.differential import uniform_wan_profile
+from repro.faults.plan import (
+    Crash,
+    FaultPlan,
+    LeaderChurn,
+    LossBurst,
+    Partition,
+    SlowNode,
+)
 from repro.giraf.oracle import NullOracle
 from repro.net import lan_profile, measure_latency_table, planetlab_profile
+from repro.obs.registry import MetricsRegistry
+from repro.oracles.omega import HeartbeatOmega
 from repro.sim import Transport
 from repro.sim.faultlink import FaultyLinkModel
 from repro.sync import HeartbeatAlgorithm, SyncRun
@@ -109,6 +119,195 @@ class TestBitIdentity:
             assert np.array_equal(chunk_a, chunk_b), key
 
 
+@st.composite
+def fault_plans(draw, n=8, rounds_cap=45):
+    """A batch-eligible fault plan: permanent crashes, bursts,
+    partitions, slow nodes and churn — no recoveries or clock steps."""
+    crashes = tuple(
+        Crash(pid=pid, at_round=draw(st.integers(1, rounds_cap + 5)))
+        for pid in draw(
+            st.lists(
+                st.integers(0, (n + 1) // 2 - 1),
+                unique=True,
+                max_size=3,
+            )
+        )
+    )
+    bursts = []
+    for _ in range(draw(st.integers(0, 2))):
+        start = draw(st.integers(1, rounds_cap))
+        bursts.append(
+            LossBurst(
+                start_round=start,
+                end_round=start + draw(st.integers(0, 10)),
+                drop_prob=draw(st.sampled_from([0.3, 0.9, 1.0])),
+            )
+        )
+    partitions = []
+    if draw(st.booleans()):
+        start = draw(st.integers(1, rounds_cap))
+        cut = draw(st.integers(1, n - 1))
+        partitions.append(
+            Partition(
+                groups=(tuple(range(cut)), tuple(range(cut, n))),
+                start_round=start,
+                heal_round=start + draw(st.integers(1, 8)),
+            )
+        )
+    slows = []
+    for _ in range(draw(st.integers(0, 2))):
+        start = draw(st.integers(1, rounds_cap))
+        slows.append(
+            SlowNode(
+                pid=draw(st.integers(0, n - 1)),
+                start_round=start,
+                end_round=start + draw(st.integers(0, 8)),
+                factor=draw(st.floats(1.5, 5.0)),
+                drop_prob=draw(st.sampled_from([0.0, 0.5])),
+            )
+        )
+    churn = []
+    if draw(st.booleans()):
+        start = draw(st.integers(1, rounds_cap))
+        churn.append(
+            LeaderChurn(
+                start_round=start, end_round=start + draw(st.integers(0, 6))
+            )
+        )
+    return FaultPlan(
+        n=n,
+        crashes=crashes,
+        loss_bursts=tuple(bursts),
+        partitions=tuple(partitions),
+        slow_nodes=tuple(slows),
+        leader_churn=tuple(churn),
+        seed=draw(st.integers(0, 2**31 - 1)),
+    )
+
+
+def build_widened_run(factory, timeout, seed, rounds, plan, metrics_on, omega, n=8):
+    profile = factory(seed)
+    table = measure_latency_table(factory(seed + 1), pings=3)
+    metrics = MetricsRegistry() if metrics_on else None
+    oracle = HeartbeatOmega(n, metrics=metrics) if omega else NullOracle()
+    run = SyncRun(
+        n,
+        lambda pid: HeartbeatAlgorithm(pid, n),
+        oracle,
+        lambda sim: Transport(sim, profile, metrics=metrics),
+        timeout=timeout,
+        latency_table=table,
+        max_rounds=rounds,
+        fault_plan=plan,
+        metrics=metrics,
+    )
+    return run, metrics
+
+
+def comparable_counters(metrics):
+    """Counter totals minus the keys that differ by construction between
+    a forced-scalar and a batched run (the executed-mode bookkeeping)."""
+    return {
+        key: value
+        for key, value in metrics.snapshot()["counters"].items()
+        if not key.startswith("sync.executed_mode")
+        and not key.startswith("sync.batch_fallback")
+    }
+
+
+class TestFaultedBitIdentity:
+    """The widened fast path: fault plans, metrics, and HeartbeatOmega
+    must not cost a single bit of fidelity."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rounds=st.integers(min_value=1, max_value=45),
+        squeeze=st.floats(min_value=0.2, max_value=1.0),
+        plan=fault_plans(),
+        metrics_on=st.booleans(),
+        omega=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_faulted_instrumented_run_is_bit_identical(
+        self, seed, rounds, squeeze, plan, metrics_on, omega
+    ):
+        factory, base_timeout = PROFILES["uniform-wan"]
+        timeout = base_timeout * squeeze
+        scalar_run, scalar_metrics = build_widened_run(
+            factory, timeout, seed, rounds, plan, metrics_on, omega
+        )
+        scalar = scalar_run.run(mode="scalar")
+        batched_run, batched_metrics = build_widened_run(
+            factory, timeout, seed, rounds, plan, metrics_on, omega
+        )
+        batched = batched_run.run()
+        assert batched_run.executed_mode == "batch", batched_run.fallback_reason
+        assert result_divergences(scalar, batched) == []
+        for a, b in zip(scalar_run.nodes, batched_run.nodes):
+            assert a.round_starts == b.round_starts
+            assert a.round_ends == b.round_ends
+            assert a.timely_receipts == b.timely_receipts
+            assert a.late_messages == b.late_messages
+            assert a.crashed_permanently == b.crashed_permanently
+            assert a.process.round == b.process.round
+            assert (
+                a.process.algorithm.rounds_computed
+                == b.process.algorithm.rounds_computed
+            )
+        assert (
+            scalar_run.transport.messages_sent
+            == batched_run.transport.messages_sent
+        )
+        assert (
+            scalar_run.transport.messages_lost
+            == batched_run.transport.messages_lost
+        )
+        assert scalar_run.simulator.now == batched_run.simulator.now
+        if metrics_on:
+            assert comparable_counters(scalar_metrics) == comparable_counters(
+                batched_metrics
+            )
+            assert (
+                scalar_metrics.snapshot()["histograms"]
+                == batched_metrics.snapshot()["histograms"]
+            )
+        policy_a = scalar_run.transport.stream_fault_policy
+        policy_b = batched_run.transport.stream_fault_policy
+        if policy_a is not None:
+            # The plan policy's own state (burst counters, seen episodes)
+            # ends up where the scalar run leaves it.
+            assert policy_a._burst_counters == policy_b._burst_counters
+            assert policy_a._seen_activations == policy_b._seen_activations
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_omega_state_matches_after_replay(self, seed):
+        plan = FaultPlan(
+            n=8,
+            crashes=(Crash(pid=1, at_round=6),),
+            loss_bursts=(
+                LossBurst(start_round=3, end_round=8, drop_prob=0.9),
+            ),
+            seed=seed,
+        )
+        factory, timeout = PROFILES["uniform-wan"]
+        states = {}
+        for mode in ("scalar", "auto"):
+            run, _ = build_widened_run(
+                factory, timeout, seed, 20, plan, False, True
+            )
+            run.run(mode=mode)
+            oracle = run.nodes[0].oracle
+            states[mode] = (
+                oracle._last_heard.copy(),
+                oracle._suspected.copy(),
+                dict(oracle._last_output),
+            )
+        assert np.array_equal(states["scalar"][0], states["auto"][0])
+        assert np.array_equal(states["scalar"][1], states["auto"][1])
+        assert states["scalar"][2] == states["auto"][2]
+
+
 class TestFallbackTriggers:
     @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
     @settings(max_examples=10, deadline=None)
@@ -127,7 +326,9 @@ class TestFallbackTriggers:
         )
         result = run.run()
         assert run.executed_mode == "scalar"
-        assert "time-invariant" in run.fallback_reason
+        # The base still streams, but an ad-hoc policy that is not the
+        # run's own plan policy cannot be replicated by the batch path.
+        assert "without a matching plan" in run.fallback_reason
         assert len(result.matrices) == 8
 
     @given(seed=st.integers(min_value=0, max_value=2**31 - 1))

@@ -81,6 +81,61 @@ class TestHistogram:
         assert a._samples == b._samples
 
 
+class TestObserveMany:
+    """The bulk path must equal a loop of scalar ``observe`` calls in
+    every observable: count, total, min/max, reservoir, stride."""
+
+    def assert_equivalent(self, batches):
+        scalar = MetricsRegistry().histogram("h")
+        bulk = MetricsRegistry().histogram("h")
+        for batch in batches:
+            for value in batch:
+                scalar.observe(float(value))
+            bulk.observe_many(np.asarray(batch, dtype=float))
+        assert bulk.count == scalar.count
+        assert bulk.total == scalar.total  # bit-identical accumulation
+        assert bulk.min == scalar.min
+        assert bulk.max == scalar.max
+        assert bulk._samples == scalar._samples
+        assert bulk._stride == scalar._stride
+
+    def test_small_batch(self):
+        self.assert_equivalent([[3.0, 1.0, 2.0]])
+
+    def test_empty_batch_is_a_no_op(self):
+        self.assert_equivalent([[]])
+
+    def test_batches_crossing_the_decimation_boundary(self):
+        rng = np.random.default_rng(11)
+        self.assert_equivalent(
+            [rng.random(MAX_HISTOGRAM_SAMPLES + 100), rng.random(50)]
+        )
+
+    def test_many_decimations_and_ragged_batches(self):
+        rng = np.random.default_rng(13)
+        sizes = [1, 7, 4096, 9000, 3, 256, 12000, 1]
+        self.assert_equivalent([rng.random(size) for size in sizes])
+
+    def test_sequential_total_matches_python_sum(self):
+        # The bulk total uses np.add.accumulate, which is sequential by
+        # ufunc definition (unlike pairwise np.sum); the scalar loop's
+        # float error must be reproduced exactly.
+        rng = np.random.default_rng(17)
+        values = rng.random(10_001) * 1e3
+        scalar = MetricsRegistry().histogram("h")
+        for value in values:
+            scalar.observe(float(value))
+        bulk = MetricsRegistry().histogram("h")
+        bulk.observe_many(values)
+        assert bulk.total == scalar.total
+
+    def test_null_histogram_bulk_is_inert(self):
+        hist = MetricsRegistry(enabled=False).histogram("h")
+        hist.observe_many(np.ones(10))
+        assert hist.count == 0
+        assert hist._samples == []
+
+
 class TestDisabledRegistry:
     def test_disabled_records_nothing(self):
         registry = MetricsRegistry(enabled=False)

@@ -87,6 +87,8 @@ class TestMain:
         assert "best fixed:" in table
         assert "adaptive regret" in table
         assert "switch timeline" in table
+        assert "live extraction over the event stack" in table
+        assert "executed mode: batch" in table
 
     def test_without_faults_flag_no_robustness_table(
         self, tmp_path, monkeypatch

@@ -9,25 +9,28 @@ which runs take the fast path, which fall back and why, and that the
 import numpy as np
 import pytest
 
+import repro.sync.batch as batch_module
 from repro.check.differential import uniform_wan_profile
-from repro.faults.plan import Crash, FaultPlan
+from repro.faults.plan import ClockStep, Crash, FaultPlan, LossBurst
 from repro.giraf.oracle import NullOracle
 from repro.net import lan_profile, planetlab_profile
+from repro.obs.recorder import RunRecorder
 from repro.obs.registry import MetricsRegistry
+from repro.oracles.omega import HeartbeatOmega
 from repro.sim import Clock, Transport
 from repro.sim.faultlink import FaultyLinkModel
 from repro.sync import HeartbeatAlgorithm, SyncRun, batch_ineligible_reason
 
 
 def make_run(n=4, timeout=0.1, max_rounds=15, factory=uniform_wan_profile,
-             seed=0, transport_kwargs=None, **kwargs):
+             seed=0, transport_kwargs=None, oracle_factory=NullOracle, **kwargs):
     table = np.full((n, n), 0.02)
     np.fill_diagonal(table, 0.0)
     profile = factory(n=n, seed=seed) if factory is uniform_wan_profile else factory(seed=seed)
     return SyncRun(
         n,
         lambda pid: HeartbeatAlgorithm(pid, n),
-        NullOracle(),
+        oracle_factory(),
         lambda sim: Transport(sim, profile, **(transport_kwargs or {})),
         timeout=timeout,
         latency_table=table,
@@ -51,8 +54,8 @@ class TestDispatch:
         assert run.simulator.events_processed > 0
 
     def test_batch_mode_on_ineligible_run_raises(self):
-        run = make_run(observers=[object()])
-        with pytest.raises(ValueError, match="ineligible.*observers"):
+        run = make_run(transport_kwargs={"trace": True})
+        with pytest.raises(ValueError, match="ineligible.*tracing"):
             run.run(mode="batch")
 
     def test_unknown_mode_raises(self):
@@ -73,16 +76,30 @@ class TestFallbackReasons:
         assert run.fallback_reason is not None
         assert fragment in run.fallback_reason, run.fallback_reason
 
-    def test_fault_plan(self):
+    def test_crash_recovery_plan(self):
+        # Recovery moves a node off the common grid (it rejoins by
+        # jumping): still scalar-only.
         plan = FaultPlan(n=4, crashes=(Crash(pid=1, at_round=3, recover_round=5),))
-        self.assert_falls_back(make_run(fault_plan=plan), "fault plan")
+        self.assert_falls_back(make_run(fault_plan=plan), "crash recovery")
 
-    def test_observers(self):
-        self.assert_falls_back(make_run(observers=[object()]), "observers")
+    def test_clock_step_plan(self):
+        plan = FaultPlan(n=4, clock_steps=(ClockStep(pid=1, at_round=3, offset=0.05),))
+        self.assert_falls_back(make_run(fault_plan=plan), "clock steps")
 
-    def test_metrics(self):
+    def test_run_recorder(self):
         self.assert_falls_back(
-            make_run(metrics=MetricsRegistry()), "telemetry"
+            make_run(recorder=RunRecorder()), "recorder"
+        )
+
+    def test_fault_policy_already_consumed(self):
+        plan = FaultPlan(
+            n=4,
+            loss_bursts=(LossBurst(start_round=2, end_round=4, drop_prob=0.5),),
+        )
+        run = make_run(fault_plan=plan)
+        run.transport.stream_fault_policy.drop(0, 1, 0.15)
+        assert batch_ineligible_reason(run, 1e9) == (
+            "fault policy already consumed"
         )
 
     def test_transport_trace(self):
@@ -103,6 +120,9 @@ class TestFallbackReasons:
         self.assert_falls_back(make_run(factory=factory), "time-invariant")
 
     def test_fault_wrapper_installed_via_setter_falls_back(self):
+        # The transport streams the wrapper's base, but the ad-hoc policy
+        # is not the run's own plan policy, so the batch path cannot
+        # replicate its decisions.
         class NoFaults:
             def drop(self, src, dst, now):
                 return False
@@ -114,7 +134,7 @@ class TestFallbackReasons:
         run.transport.link_model = FaultyLinkModel(
             run.transport.link_model, NoFaults()
         )
-        self.assert_falls_back(run, "time-invariant")
+        self.assert_falls_back(run, "without a matching plan")
 
     def test_non_probe_algorithm(self):
         class Variant(HeartbeatAlgorithm):
@@ -172,6 +192,114 @@ class TestTruncatedScalarFallback:
         result = run.run(time_limit=0.55)
         assert run.executed_mode == "scalar"
         assert len(result.matrices) < 50
+
+
+class TestWidenedEligibility:
+    """The four former fallback causes now ride the fast path."""
+
+    def faulted_plan(self, n=4):
+        return FaultPlan(
+            n=n,
+            crashes=(Crash(pid=1, at_round=8),),
+            loss_bursts=(LossBurst(start_round=3, end_round=5, drop_prob=0.8),),
+            seed=9,
+        )
+
+    def test_permanent_crash_plan_is_eligible(self):
+        run = make_run(fault_plan=self.faulted_plan())
+        result = run.run()
+        assert run.executed_mode == "batch"
+        assert run.nodes[1].crashed_permanently
+        assert 1 not in result.correct
+
+    def test_metrics_ride_the_batch_path(self):
+        metrics = MetricsRegistry()
+        run = make_run(
+            metrics=metrics, transport_kwargs={"metrics": metrics}
+        )
+        run.run()
+        assert run.executed_mode == "batch"
+        # Bulk accumulation stands in for the per-event increments.
+        assert metrics.value("sync.rounds_started") == 4 * 15
+        assert metrics.value("transport.sent") == 15 * 4 * 3
+
+    def test_observers_ride_the_batch_path(self):
+        class Collector:
+            def __init__(self):
+                self.matrices = []
+                self.oracle_outputs = []
+
+            def on_round_matrix(self, round_number, matrix):
+                self.matrices.append(round_number)
+
+            def on_oracle(self, pid, round_number, output):
+                self.oracle_outputs.append((pid, round_number, output))
+
+        collector = Collector()
+        n = 4
+        run = make_run(observers=[collector])
+        run.nodes[0].oracle  # NullOracle: only the on_oracle hook forces replay
+        run.run()
+        assert run.executed_mode == "batch"
+        assert collector.matrices == list(range(1, 16))
+        # Boot queries plus one query per ended round, in pid order.
+        assert len(collector.oracle_outputs) == n + n * 15
+
+    def test_heartbeat_omega_rides_the_batch_path(self):
+        run = make_run(oracle_factory=lambda: HeartbeatOmega(4))
+        run.run()
+        assert run.executed_mode == "batch"
+
+    def test_executed_mode_counters(self):
+        metrics = MetricsRegistry()
+        run = make_run(metrics=metrics)
+        run.run()
+        assert metrics.value("sync.executed_mode", mode="batch") == 1
+        metrics = MetricsRegistry()
+        run = make_run(metrics=metrics, transport_kwargs={"trace": True})
+        run.run()
+        assert metrics.value("sync.executed_mode", mode="scalar") == 1
+        assert (
+            metrics.value(
+                "sync.batch_fallback", reason="delivery tracing enabled"
+            )
+            == 1
+        )
+
+    def test_forced_scalar_does_not_count_a_fallback(self):
+        metrics = MetricsRegistry()
+        run = make_run(metrics=metrics)
+        run.run(mode="scalar")
+        assert metrics.value("sync.executed_mode", mode="scalar") == 1
+        snapshot = metrics.snapshot()["counters"]
+        assert not any("batch_fallback" in key for key in snapshot)
+
+
+class TestTimeLimitBound:
+    """Eligibility must not materialize the O(R) round grid unless the
+    time limit lands inside the closed-form bound's uncertainty band."""
+
+    def test_million_round_eligibility_is_grid_free(self, monkeypatch):
+        run = make_run(max_rounds=10**6)
+
+        def boom(run_):
+            raise AssertionError("round grid materialized during eligibility")
+
+        monkeypatch.setattr(batch_module, "_round_grid", boom)
+        # Far above the bound: eligible without touching the grid.
+        assert batch_ineligible_reason(run, 1e12) is None
+        # Far below: rejected without touching the grid.
+        assert batch_ineligible_reason(run, 1.0) == (
+            "time limit truncates the run"
+        )
+
+    def test_boundary_limits_fall_back_to_the_exact_grid(self):
+        run = make_run(max_rounds=1000)
+        grid_end = batch_module._round_grid(run)[-1]
+        assert batch_ineligible_reason(run, grid_end) is None
+        assert batch_ineligible_reason(run, np.nextafter(grid_end, 0.0)) == (
+            "time limit truncates the run"
+        )
 
 
 class TestLanStaticProfile:
