@@ -1,8 +1,10 @@
 """Tier-2 conformance benchmark: the two execution stacks must agree.
 
 Runs the full :mod:`repro.check` sweep — differential validation of the
-lockstep and event-driven stacks on three network profiles, with and
-without the canonical fault plan, runtime invariant checkers attached to
+lockstep and event-driven stacks on four network profiles (including the
+Granular Synchrony wrapped WAN), clean, under the canonical fault plan,
+and under the eventually stabilizing message adversary, runtime
+invariant checkers attached to
 every consensus run, the Monte-Carlo-versus-closed-form cross-check, and
 the mutation self-test — and writes the rendered report to
 ``benchmarks/results/conformance.txt``.
@@ -27,22 +29,27 @@ def test_conformance_report(conformance, save_result):
     report, _ = conformance
     save_result("conformance", conformance_report(report).rstrip("\n"))
 
-    # Coverage: three profiles, each with and without a fault plan.
-    assert len(report.results) == 6
+    # Coverage: four profiles, each clean, under the canonical fault
+    # plan, and under the stability-window adversary.
+    assert len(report.results) == 12
     assert {r.profile for r in report.results} == {
-        "planetlab-wan", "lan", "uniform-wan",
+        "planetlab-wan", "lan", "uniform-wan", "granular-wan",
     }
-    assert {r.fault for r in report.results} == {"none", "canonical"}
-    # Plus the scalar-vs-batched axis on each profile's static variant,
-    # clean and under the canonical batch-eligible fault plan.
-    assert len(report.batch_axis) == 6
+    assert {r.fault for r in report.results} == {
+        "none", "canonical", "adversary",
+    }
+    # Plus the scalar-vs-batched axis on each profile's static variant —
+    # clean and under the canonical batch-eligible fault plan — and one
+    # adversary-plan run on the granular profile.
+    assert len(report.batch_axis) == 9
     assert {r.profile for r in report.batch_axis} == {
         "planetlab-wan [scalar-vs-batched]",
         "lan [scalar-vs-batched]",
         "uniform-wan [scalar-vs-batched]",
+        "granular-wan [scalar-vs-batched]",
     }
     assert {r.fault for r in report.batch_axis} == {
-        "none", "canonical-batch",
+        "none", "canonical-batch", "adversary-batch",
     }
 
 

@@ -33,6 +33,7 @@ from repro.adaptive.scenario import (
     ScenarioComparison,
     ScenarioConfig,
     adaptive_report,
+    granular_scenario_config,
     run_adaptive_scenario,
 )
 
@@ -48,5 +49,6 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioComparison",
     "adaptive_report",
+    "granular_scenario_config",
     "run_adaptive_scenario",
 ]

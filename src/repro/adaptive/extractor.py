@@ -44,8 +44,13 @@ from repro.experiments.measurement import timely_matrices
 from repro.models.registry import MODELS
 from repro.obs.registry import MetricsRegistry, registry_or_null
 
-#: Models the extractor classifies, in presentation order.
-CANDIDATES = ("ES", "AFM", "LM", "WLM")
+#: Models the extractor classifies, in presentation order.  GS sits
+#: before LM deliberately: a granular round is an LM round with the hub
+#: as leader, so the two often tie on expected time, and
+#: :meth:`TimelinessExtractor.recommend` keeps the first of a tie — the
+#: model whose guarantee is per-link (and whose leader needs no
+#: election) should win it.
+CANDIDATES = ("ES", "AFM", "GS", "LM", "WLM")
 
 
 @dataclass(frozen=True)
@@ -56,7 +61,8 @@ class ModelEstimate:
         model: registry key.
         timeout: round timeout the estimate is for (seconds).
         leader: leader the leader-based conditions were evaluated with
-            (``None`` for leaderless models).
+            (``None`` for leaderless models; granular models report
+            their static hub so the policy can aim Ω at it).
         satisfaction: fraction of window rounds satisfying the model.
         holds: did the model's conditions hold in *every* window round —
             the online analogue of "the model currently holds"?
@@ -209,6 +215,11 @@ class TimelinessExtractor:
                 model = MODELS[name]
                 leader_arg = leader if model.needs_leader else None
                 satisfied = model.satisfied_batch(matrices, leader=leader_arg)
+                # A granular model carries its own statically designated
+                # leader: the hub.  Surface it so the policy aims Ω there.
+                cell_leader = (
+                    model.hub if model.hub is not None else leader_arg
+                )
                 p_m = float(satisfied.mean())
                 if p_m > 0.0:
                     rounds = float(
@@ -221,7 +232,7 @@ class TimelinessExtractor:
                     ModelEstimate(
                         model=name,
                         timeout=timeout,
-                        leader=leader_arg,
+                        leader=cell_leader,
                         satisfaction=p_m,
                         holds=bool(satisfied.all()),
                         expected_time=expected,

@@ -27,12 +27,16 @@ from repro.core import WlmConsensus
 from repro.giraf.oracle import Oracle
 from repro.obs.registry import MetricsRegistry, registry_or_null
 
-#: The fastest implemented algorithm per model condition.
+#: The fastest implemented algorithm per model condition.  A granular
+#: (GS) round is an LM round with the statically known hub as leader, so
+#: the 3-round LM algorithm is the fastest fit — the policy aims Ω at
+#: the hub via the extractor's per-cell leader.
 ALGORITHMS = {
     "ES": EsConsensus,
     "LM": LmConsensus,
     "WLM": WlmConsensus,
     "AFM": AfmConsensus,
+    "GS": LmConsensus,
 }
 
 

@@ -11,10 +11,13 @@
   cross (the paper's 0.96 / 0.97 observations) and optimal-timeout search.
 - :mod:`stats` — the summary statistics used by the measurement figures
   (means, variance, 95% confidence intervals).
+- :mod:`stabilization` — decision-round predictions under eventually
+  stabilizing message adversaries (post-paper scenario family).
 """
 
 from repro.analysis.equations import (
     p_es,
+    p_gs,
     p_lm,
     p_wlm,
     p_afm,
@@ -24,6 +27,10 @@ from repro.analysis.equations import (
     expected_rounds_exact,
     expected_decision_rounds,
     DECISION_ROUNDS,
+)
+from repro.analysis.stabilization import (
+    predicted_decision_round,
+    simulate_adversary_decision_rounds,
 )
 from repro.analysis.asymptotics import afm_upper_bound, expected_rounds_vs_n
 from repro.analysis.montecarlo import (
@@ -35,6 +42,7 @@ from repro.analysis.stats import mean_confidence_interval, summarize
 
 __all__ = [
     "p_es",
+    "p_gs",
     "p_lm",
     "p_wlm",
     "p_afm",
@@ -52,4 +60,6 @@ __all__ = [
     "optimal_timeout",
     "mean_confidence_interval",
     "summarize",
+    "predicted_decision_round",
+    "simulate_adversary_decision_rounds",
 ]

@@ -32,8 +32,10 @@ ArrayLike = Union[float, np.ndarray]
 
 #: Decision-round counts used in Section 4: the fastest known algorithm per
 #: model (WLM's 4 assumes the stable leader of the analysis; WLM_SIM is the
-#: optimal LM algorithm over the Appendix B simulation).
-DECISION_ROUNDS = {"ES": 3, "LM": 3, "WLM": 4, "WLM_SIM": 7, "AFM": 5}
+#: optimal LM algorithm over the Appendix B simulation).  GS is the
+#: post-paper granular model: its satisfying rounds are LM rounds with the
+#: statically known hub as leader, so the 3-round LM algorithm applies.
+DECISION_ROUNDS = {"ES": 3, "LM": 3, "WLM": 4, "WLM_SIM": 7, "AFM": 5, "GS": 3}
 
 
 def _as_array(p: ArrayLike) -> np.ndarray:
@@ -95,6 +97,17 @@ def p_afm(p: ArrayLike, n: int) -> ArrayLike:
     return pr_row_majority(p, n) ** (2 * n)
 
 
+def p_gs(p: ArrayLike, n: int) -> ArrayLike:
+    """Granular Synchrony under the canonical hub-based assumption matrix:
+    ``P_GS = p^g`` where ``g`` counts the guaranteed (sync or psync)
+    entries, diagonal included — the per-link analog of equation (1),
+    which is the ``g = n^2`` special case."""
+    from repro.models.properties import granular_link_count
+
+    arr = _as_array(p)
+    return arr ** granular_link_count(n)
+
+
 def expected_rounds_paper(p_model: ArrayLike, c: int) -> ArrayLike:
     """The paper's ``E(D) = 1 / P^c + (c - 1)`` (equations (2), (5), (7),
     (8), (10))."""
@@ -119,8 +132,8 @@ def expected_decision_rounds(p: ArrayLike, n: int, model: str) -> ArrayLike:
     model's ``P_M`` with the paper's expectation formula.
 
     ``model`` is one of ``"ES"``, ``"LM"``, ``"WLM"``, ``"WLM_SIM"``,
-    ``"AFM"``.  ``"WLM_SIM"`` shares ``P_WLM`` but needs 7 rounds
-    (equation (8)).
+    ``"AFM"``, ``"GS"``.  ``"WLM_SIM"`` shares ``P_WLM`` but needs 7
+    rounds (equation (8)).
     """
     key = model.upper()
     if key not in DECISION_ROUNDS:
@@ -132,6 +145,8 @@ def expected_decision_rounds(p: ArrayLike, n: int, model: str) -> ArrayLike:
         p_m = p_lm(p, n)
     elif key in ("WLM", "WLM_SIM"):
         p_m = p_wlm(p, n)
+    elif key == "GS":
+        p_m = p_gs(p, n)
     else:
         p_m = p_afm(p, n)
     return expected_rounds_paper(p_m, c)

@@ -37,9 +37,11 @@ from repro.check.differential import (
     DiffRow,
     DifferentialResult,
     batched_differential_run,
+    canonical_adversary_plan,
     canonical_diff_plan,
     conformance_report,
     differential_run,
+    granular_wan_profile,
     montecarlo_vs_equations,
     run_conformance,
     uniform_wan_profile,
@@ -61,9 +63,11 @@ __all__ = [
     "DiffRow",
     "DifferentialResult",
     "batched_differential_run",
+    "canonical_adversary_plan",
     "canonical_diff_plan",
     "conformance_report",
     "differential_run",
+    "granular_wan_profile",
     "montecarlo_vs_equations",
     "run_conformance",
     "uniform_wan_profile",

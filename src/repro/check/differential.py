@@ -48,6 +48,7 @@ from repro.experiments.measurement import (
     satisfaction_vector,
     timely_matrices,
 )
+from repro.faults.adversary import StabilityWindowAdversary
 from repro.faults.lockstep import inject_lockstep
 from repro.faults.plan import Crash, FaultPlan, LossBurst, Partition, SlowNode
 from repro.giraf.oracle import FixedLeaderOracle, NullOracle, Oracle
@@ -55,6 +56,7 @@ from repro.giraf.runner import LockstepRunner
 from repro.giraf.schedule import MatrixSchedule
 from repro.models.registry import get_model
 from repro.net.base import LatencyModel
+from repro.net.granular import GranularProfile
 from repro.net.hetero import HeterogeneousNetwork
 from repro.net.lan import lan_profile
 from repro.net.ping import measure_latency_table, select_leader
@@ -67,8 +69,10 @@ from repro.sync.batch import RESULT_FIELDS, result_divergences
 from repro.sync.heartbeat import HeartbeatAlgorithm
 from repro.sync.round_sync import SyncRun
 
-#: The models whose ``P_M`` both stacks must agree on.
-DIFF_MODELS = ("ES", "AFM", "LM", "WLM")
+#: The models whose ``P_M`` both stacks must agree on.  GS is the
+#: post-paper Granular Synchrony model (canonical hub-based assumption
+#: matrix); its closed form is exact, like ES's.
+DIFF_MODELS = ("ES", "AFM", "LM", "WLM", "GS")
 
 #: Warm-up rounds excluded from the statistics on both paths (start
 #: effects: staggered first rounds, empty inboxes), matching the ``[5:]``
@@ -169,6 +173,26 @@ def canonical_diff_plan(n: int, rounds: int, seed: int = 0) -> FaultPlan:
     )
 
 
+def canonical_adversary_plan(n: int, rounds: int, seed: int = 0) -> FaultPlan:
+    """The standard eventually-stabilizing-adversary scenario.
+
+    GSR sits at a third of the run: the first third grants only short
+    vertex-stable root-component windows (full suppression in between),
+    the remaining two thirds are clean — long enough for the decision
+    statistics of both stacks to stabilize.  Batch-eligible by
+    construction (loss bursts and partitions only).
+    """
+    if rounds < 60:
+        raise ValueError("the canonical adversary plan needs at least 60 rounds")
+    return StabilityWindowAdversary(
+        n=n,
+        gsr_round=max(17, rounds // 3),
+        window_length=3,
+        window_period=8,
+        seed=derive_seed(seed, "check:adversary"),
+    ).to_plan()
+
+
 def _consensus_safety(
     n: int,
     leader: int,
@@ -244,6 +268,7 @@ def differential_run(
     plan: Optional[FaultPlan] = None,
     start_points: int = 12,
     metrics: Optional[MetricsRegistry] = None,
+    fault_name: Optional[str] = None,
 ) -> DifferentialResult:
     """Drive one scenario through both stacks and diff the observables.
 
@@ -349,9 +374,11 @@ def differential_run(
         metrics=metrics,
     )
 
+    if fault_name is None:
+        fault_name = "canonical" if plan is not None else "none"
     return DifferentialResult(
         profile=profile_name,
-        fault="canonical" if plan is not None else "none",
+        fault=fault_name,
         timeout=timeout,
         rounds=rounds,
         seed=seed,
@@ -422,6 +449,7 @@ def batched_differential_run(
     seed: int = 0,
     dynamic_factory: Optional[Callable[..., LatencyModel]] = None,
     faulted: bool = False,
+    adversary: bool = False,
 ) -> DifferentialResult:
     """Cross-check the two execution paths *within* the event stack.
 
@@ -442,7 +470,16 @@ def batched_differential_run(
     on the run and the transport, and the :class:`HeartbeatOmega`
     detector — and two extra rows assert that the ``repro.obs`` counter
     totals and latency histograms match exactly too.
+
+    With ``adversary=True`` the plan is the
+    :func:`canonical_adversary_plan` instead: an eventually stabilizing
+    message adversary's loss bursts and stability-window partitions are
+    batch-eligible round-granular faults, so its epoch-segmented batched
+    execution must also be bit-identical (same metrics/Omega load as the
+    canonical faulted run).
     """
+    if faulted and adversary:
+        raise ValueError("pick one fault scenario per batch-axis run")
     ping_model = static_factory(
         seed=derive_seed(seed, f"check:{profile_name}:ping")
     )
@@ -450,14 +487,20 @@ def batched_differential_run(
     table = measure_latency_table(ping_model, pings=15)
     leader = select_leader(table)
     trace_seed = derive_seed(seed, f"check:{profile_name}:batch-axis")
-    plan = canonical_batch_plan(n, rounds, seed=seed) if faulted else None
+    if adversary:
+        plan: Optional[FaultPlan] = canonical_adversary_plan(n, rounds, seed=seed)
+    elif faulted:
+        plan = canonical_batch_plan(n, rounds, seed=seed)
+    else:
+        plan = None
+    instrumented = plan is not None
 
     def build(
         factory: Callable[..., LatencyModel],
     ) -> tuple[SyncRun, Optional[MetricsRegistry]]:
-        metrics = MetricsRegistry() if faulted else None
+        metrics = MetricsRegistry() if instrumented else None
         oracle = (
-            HeartbeatOmega(n, metrics=metrics) if faulted else NullOracle()
+            HeartbeatOmega(n, metrics=metrics) if instrumented else NullOracle()
         )
         run = SyncRun(
             n,
@@ -520,7 +563,7 @@ def batched_differential_run(
             0.0,
         )
     )
-    if faulted:
+    if instrumented:
         metrics_ok = _comparable_counters(scalar_metrics) == (
             _comparable_counters(batched_metrics)
         )
@@ -560,9 +603,15 @@ def batched_differential_run(
             )
         )
 
+    if adversary:
+        fault_label = "adversary-batch"
+    elif faulted:
+        fault_label = "canonical-batch"
+    else:
+        fault_label = "none"
     return DifferentialResult(
         profile=f"{profile_name} [scalar-vs-batched]",
-        fault="canonical-batch" if faulted else "none",
+        fault=fault_label,
         timeout=timeout,
         rounds=rounds,
         seed=seed,
@@ -603,6 +652,16 @@ def _batched_scenarios(
             None,
             UNIFORM_TIMEOUT,
         ),
+        (
+            "granular-wan",
+            lambda seed: granular_wan_profile(n=n, seed=seed),
+            # A pending psync stabilization makes the contract
+            # time-varying: the batch path must fall back and say why.
+            lambda seed: granular_wan_profile(
+                n=n, seed=seed, stabilization_time=4.0
+            ),
+            GRANULAR_TIMEOUT,
+        ),
     )
 
 
@@ -615,6 +674,7 @@ _CLOSED_FORMS = {
     "LM": equations.p_lm,
     "WLM": equations.p_wlm,
     "AFM": equations.p_afm,
+    "GS": equations.p_gs,
 }
 
 
@@ -669,6 +729,12 @@ WAN_TIMEOUT = 0.21
 LAN_TIMEOUT = 0.0009
 #: Timeout for the uniform mid-latency WAN scenario.
 UNIFORM_TIMEOUT = 0.1
+#: Timeout for the Granular Synchrony scenario (same regime as the
+#: uniform WAN it wraps; the per-link bounds sit well below it).
+GRANULAR_TIMEOUT = 0.1
+#: The per-link contracts of the conformance granular profile.
+GRANULAR_SYNC_BOUND = 0.03
+GRANULAR_PSYNC_BOUND = 0.06
 
 
 def uniform_wan_profile(n: int = 8, seed: int = 0) -> HeterogeneousNetwork:
@@ -697,8 +763,28 @@ def uniform_wan_profile(n: int = 8, seed: int = 0) -> HeterogeneousNetwork:
     )
 
 
+def granular_wan_profile(
+    n: int = 8, seed: int = 0, stabilization_time: float = 0.0
+) -> GranularProfile:
+    """The uniform WAN under the canonical Granular Synchrony contract.
+
+    Sync links (the hub's column) always deliver within
+    ``GRANULAR_SYNC_BOUND``; psync links (the ring majority) within
+    ``GRANULAR_PSYNC_BOUND`` once ``stabilization_time`` has passed.
+    With ``stabilization_time = 0`` the profile is time-invariant and
+    batch-eligible; a positive value builds the time-varying variant
+    that must fall back to the scalar event loop.
+    """
+    return GranularProfile(
+        uniform_wan_profile(n=n, seed=seed),
+        sync_bound=GRANULAR_SYNC_BOUND,
+        psync_bound=GRANULAR_PSYNC_BOUND,
+        stabilization_time=stabilization_time,
+    )
+
+
 def _scenarios(n: int = 8) -> tuple[tuple[str, Callable[..., LatencyModel], float], ...]:
-    """The three network profiles every conformance run covers."""
+    """The four network profiles every conformance run covers."""
     return (
         ("planetlab-wan", lambda seed: planetlab_profile(seed=seed), WAN_TIMEOUT),
         ("lan", lambda seed: lan_profile(n=n, seed=seed), LAN_TIMEOUT),
@@ -706,6 +792,11 @@ def _scenarios(n: int = 8) -> tuple[tuple[str, Callable[..., LatencyModel], floa
             "uniform-wan",
             lambda seed: uniform_wan_profile(n=n, seed=seed),
             UNIFORM_TIMEOUT,
+        ),
+        (
+            "granular-wan",
+            lambda seed: granular_wan_profile(n=n, seed=seed),
+            GRANULAR_TIMEOUT,
         ),
     )
 
@@ -770,8 +861,13 @@ def run_conformance(
     """The full conformance sweep: every profile, with and without faults,
     plus the Monte-Carlo cross-check and the mutation self-test."""
     report = ConformanceReport()
+    plans = (
+        (None, None),
+        (canonical_diff_plan(n, rounds, seed=seed), None),
+        (canonical_adversary_plan(n, rounds, seed=seed), "adversary"),
+    )
     for profile_name, factory, timeout in _scenarios(n):
-        for plan in (None, canonical_diff_plan(n, rounds, seed=seed)):
+        for plan, fault_name in plans:
             report.results.append(
                 differential_run(
                     profile_name,
@@ -781,6 +877,7 @@ def run_conformance(
                     seed=seed,
                     plan=plan,
                     metrics=metrics,
+                    fault_name=fault_name,
                 )
             )
     for profile_name, static, dynamic, timeout in _batched_scenarios(n):
@@ -807,6 +904,21 @@ def run_conformance(
                 faulted=True,
             )
         )
+    # One adversary run on the granular profile proves the stability-window
+    # plan's epoch segmentation stays on the bit-identical fast path.
+    adversary_name, adversary_static, _, adversary_timeout = _batched_scenarios(
+        n
+    )[-1]
+    report.batch_axis.append(
+        batched_differential_run(
+            adversary_name,
+            adversary_static,
+            timeout=adversary_timeout,
+            rounds=rounds,
+            seed=seed,
+            adversary=True,
+        )
+    )
     report.mc_rows = montecarlo_vs_equations(samples=mc_samples, seed=seed)
     report.mutation_detected, report.mutation_clean = _mutation_smoke()
     return report

@@ -419,3 +419,84 @@ def figure_1i(
                 f"(decision time {best_v * 1000:.0f} ms). "
             )
     return result
+
+
+# ----------------------------------------------------------------------
+# Figure 1(j) and 1(k): the post-paper scenario families.
+# ----------------------------------------------------------------------
+def figure_1j(
+    n: int = 8, p_grid: Optional[Sequence[float]] = None
+) -> FigureSeries:
+    """Analytic E(D) versus p with Granular Synchrony alongside (1(b)'s
+    range, extended).
+
+    GS's ``P_GS = p^g`` constrains only the g guaranteed links of the
+    canonical hub matrix (43 of 64 at n = 8) instead of ES's all n², so
+    its curve sits strictly between ES and the leader-based models: it
+    needs no leader election, yet tolerates every async link failing.
+    """
+    from repro.models.properties import granular_link_count
+
+    if p_grid is None:
+        p_grid = np.linspace(0.90, 0.999, 34)
+    x = [float(p) for p in p_grid]
+    result = FigureSeries(figure="1j", x_label="p", x=x)
+    for model in ("ES", "GS", "AFM", "LM", "WLM"):
+        result.series[model] = [
+            float(expected_decision_rounds(p, n, model)) for p in x
+        ]
+    result.notes = (
+        f"GS constrains {granular_link_count(n)} of {n * n} links "
+        "(canonical hub matrix); 3-round decisions with no leader election."
+    )
+    return result
+
+
+def figure_1k(
+    n: int = 8,
+    p: float = 0.97,
+    gsr_grid: Optional[Sequence[int]] = None,
+    models: Sequence[str] = ("GS", "WLM"),
+    runs: int = 120,
+    seed: int = 0,
+) -> FigureSeries:
+    """Decision round versus stabilization round (GSR) under the
+    eventually stabilizing message adversary.
+
+    For each GSR the simulated mean global-decision round is plotted
+    against the composition prediction ``(GSR - 1) + E[T_c(P_M)]``: the
+    adversary delays every model by exactly its stabilization time, and
+    from GSR on each model pays only its clean-network run length.
+    """
+    from repro.analysis.stabilization import (
+        predicted_decision_round,
+        simulate_adversary_decision_rounds,
+    )
+    from repro.check.differential import _CLOSED_FORMS
+    from repro.faults.adversary import StabilityWindowAdversary
+
+    if gsr_grid is None:
+        gsr_grid = (10, 18, 26, 34)
+    x = [float(g) for g in gsr_grid]
+    result = FigureSeries(
+        figure="1k", x_label="stabilization round (GSR)", x=x
+    )
+    for model in models:
+        p_m = float(np.asarray(_CLOSED_FORMS[model](p, n)))
+        simulated = []
+        predicted = []
+        for gsr in gsr_grid:
+            adversary = StabilityWindowAdversary(n=n, gsr_round=int(gsr))
+            leader = 0 if model in ("LM", "WLM", "WLM_SIM") else None
+            rounds = simulate_adversary_decision_rounds(
+                adversary, p, model, runs=runs, seed=seed, leader=leader
+            )
+            simulated.append(float(rounds.mean()))
+            predicted.append(predicted_decision_round(adversary, p_m, model))
+        result.series[f"{model} measured"] = simulated
+        result.series[f"{model} predicted"] = predicted
+    result.notes = (
+        f"p = {p}, {runs} runs per point; prediction = (GSR - 1) + exact "
+        "run-length expectation at the model's clean-network P_M."
+    )
+    return result

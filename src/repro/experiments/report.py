@@ -6,6 +6,7 @@ paper's reported numbers.
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Optional, Sequence
 
 from repro.experiments.figures import FigureSeries
@@ -14,8 +15,8 @@ from repro.experiments.figures import FigureSeries
 def _format(value: float) -> str:
     if value != value:  # NaN
         return "     -"
-    if value == float("inf"):
-        return "   inf"
+    if math.isinf(value):
+        return "   inf" if value > 0 else "  -inf"
     if abs(value) >= 10000:
         return f"{value:10.3g}"
     if abs(value) >= 100:

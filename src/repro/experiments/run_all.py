@@ -78,6 +78,8 @@ from repro.experiments.figures import (
     figure_1g,
     figure_1h,
     figure_1i,
+    figure_1j,
+    figure_1k,
     run_wan_sweep,
 )
 from repro.experiments.parallel import (
@@ -238,6 +240,14 @@ def main(argv: list[str] | None = None) -> int:
         "pair; writes adaptive.txt",
     )
     parser.add_argument(
+        "--new-models",
+        action="store_true",
+        help="also run the new-scenario phase: Granular Synchrony analytic "
+        "curves (Figure 1(j)) and the eventually-stabilizing message "
+        "adversary's decision-round figure (Figure 1(k), simulated mean "
+        "vs closed-form prediction); writes fig1j.txt and fig1k.txt",
+    )
+    parser.add_argument(
         "--serve",
         action="store_true",
         help="route the LAN/WAN sweeps through the repro.service job "
@@ -284,7 +294,11 @@ def main(argv: list[str] | None = None) -> int:
 
     start = time.perf_counter()
     phases = str(
-        4 + int(args.faults) + int(args.check) + int(args.adaptive)
+        4
+        + int(args.faults)
+        + int(args.check)
+        + int(args.adaptive)
+        + int(args.new_models)
     )
     print(f"[1/{phases}] analysis figures (Section 4.2)", flush=True)
     with profile.phase("analysis"):
@@ -417,6 +431,21 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
 
+    if args.new_models:
+        # Analytic on one side, a small simulation on the other: 1(j) is
+        # closed-form only, 1(k) replays the stability-window adversary
+        # on the event stack and overlays the composed prediction.
+        print(
+            f"[{next_phase}/{phases}] post-paper scenarios "
+            "(granular synchrony, stabilizing adversary)",
+            flush=True,
+        )
+        next_phase += 1
+        with profile.phase("new-models"):
+            emit("fig1j", figure_1j(), y_log=True)
+            runs = 40 if args.scale == "quick" else 120
+            emit("fig1k", figure_1k(runs=runs, seed=wan_config.seed))
+
     if cache is not None:
         print(
             f"trace cache: {cache.hits} hits, {cache.misses} misses, "
@@ -485,6 +514,7 @@ def _write_metrics_dir(
         faults=args.faults,
         check=args.check,
         adaptive=args.adaptive,
+        new_models=args.new_models,
         serve=args.serve,
         out=args.out,
         cache=not args.no_cache,

@@ -16,6 +16,7 @@ with every random choice derived from the plan's seed by the codebase's
 SHA-256 rule, so both paths realize the scenario bit-reproducibly.
 """
 
+from repro.faults.adversary import StabilityWindowAdversary
 from repro.faults.plan import (
     Crash,
     ClockStep,
@@ -45,6 +46,7 @@ __all__ = [
     "LossBurst",
     "Partition",
     "SlowNode",
+    "StabilityWindowAdversary",
     "ChurningOracle",
     "FaultSchedule",
     "faulty_lockstep_runner",

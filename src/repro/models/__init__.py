@@ -25,9 +25,18 @@ from repro.models.matrix import (
     validate_matrix,
 )
 from repro.models.properties import (
+    GS_HUB,
+    LINK_ASYNC,
+    LINK_PSYNC,
+    LINK_SYNC,
+    canonical_granular_assumptions,
+    granular_guaranteed,
+    granular_link_count,
     is_j_source,
     is_j_destination,
     satisfies_es,
+    satisfies_granular,
+    satisfies_gs,
     satisfies_lm,
     satisfies_wlm,
     satisfies_afm,
@@ -48,6 +57,15 @@ __all__ = [
     "satisfies_lm",
     "satisfies_wlm",
     "satisfies_afm",
+    "satisfies_gs",
+    "satisfies_granular",
+    "canonical_granular_assumptions",
+    "granular_guaranteed",
+    "granular_link_count",
+    "GS_HUB",
+    "LINK_ASYNC",
+    "LINK_PSYNC",
+    "LINK_SYNC",
     "TimingModel",
     "MODELS",
     "get_model",

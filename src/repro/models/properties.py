@@ -16,6 +16,7 @@ process fails.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -167,3 +168,117 @@ def batch_satisfies_afm(
     in_counts = np.count_nonzero(matrices[:, idx][:, :, idx], axis=2)
     out_counts = np.count_nonzero(matrices[:, :, idx], axis=1)
     return (in_counts >= maj).all(axis=1) & (out_counts >= maj).all(axis=1)
+
+
+# ----------------------------------------------------------------------
+# Granular Synchrony (arxiv 2408.12853): instead of one network-wide
+# assumption, each directed link carries its own contract — ``sync``
+# (always timely), ``psync`` (timely after an unknown stabilization
+# time, with a known bound), or ``async`` (no guarantee).  A round
+# satisfies the granular model when every *guaranteed* (sync or psync)
+# link between correct processes is timely; async links are best-effort
+# and never required.
+#
+# The canonical assumption matrix is hub-based: a designated hub's
+# outgoing links are sync, and every process additionally has psync
+# incoming links from the ``n // 2`` processes preceding it on a ring.
+# Counting the self-link, every process is therefore guaranteed to be a
+# majority-destination, and the hub is guaranteed to be an n-source —
+# so a satisfying granular round is also an eventual-LM round with the
+# statically known hub as leader.  That is what lets the 3-round LM
+# algorithm decide under granular synchrony without waiting on an
+# Omega failure detector: the assumption matrix itself is the leader
+# certificate.
+# ----------------------------------------------------------------------
+
+#: Per-link assumption codes, ordered by strength.
+LINK_ASYNC = 0
+LINK_PSYNC = 1
+LINK_SYNC = 2
+
+#: The canonical granular matrix designates process 0 as the sync hub.
+GS_HUB = 0
+
+
+@lru_cache(maxsize=None)
+def canonical_granular_assumptions(n: int, hub: int = GS_HUB) -> np.ndarray:
+    """The canonical hub-based assumption matrix for ``n`` processes.
+
+    Entry ``[dst, src]`` follows the delivery-matrix orientation.  The
+    diagonal and the hub's outgoing column are ``sync``; each process's
+    incoming links from its ``n // 2`` ring predecessors are ``psync``;
+    everything else is ``async``.  The returned array is read-only (it
+    is cached and shared between callers).
+    """
+    if not 0 <= hub < n:
+        raise ValueError(f"hub {hub} out of range for n={n}")
+    assumptions = np.full((n, n), LINK_ASYNC, dtype=np.int8)
+    dst = np.arange(n)
+    for k in range(1, n // 2 + 1):
+        assumptions[dst, (dst - k) % n] = LINK_PSYNC
+    assumptions[:, hub] = LINK_SYNC
+    np.fill_diagonal(assumptions, LINK_SYNC)
+    assumptions.setflags(write=False)
+    return assumptions
+
+
+def granular_guaranteed(assumptions: np.ndarray) -> np.ndarray:
+    """Boolean mask of the links the granular model requires to be timely."""
+    return np.asarray(assumptions) >= LINK_PSYNC
+
+
+@lru_cache(maxsize=None)
+def _canonical_guaranteed(n: int) -> np.ndarray:
+    mask = granular_guaranteed(canonical_granular_assumptions(n)).copy()
+    mask.setflags(write=False)
+    return mask
+
+
+def granular_link_count(n: int) -> int:
+    """Number of guaranteed entries in the canonical matrix (diagonal included).
+
+    This is the exponent of the closed form ``P_GS = p ** granular_link_count(n)``
+    under IID link timeliness, mirroring ``P_ES = p ** n**2``.
+    """
+    return int(np.count_nonzero(_canonical_guaranteed(n)))
+
+
+def satisfies_granular(
+    matrix: np.ndarray,
+    guaranteed: np.ndarray,
+    correct: Optional[Iterable[int]] = None,
+) -> bool:
+    """GS against an explicit guaranteed-link mask: every guaranteed link
+    between correct processes is timely.
+    """
+    n = matrix.shape[0]
+    idx = _correct_indices(n, correct)
+    sub = np.ix_(idx, idx)
+    return bool(np.all(matrix[sub][guaranteed[sub]]))
+
+
+def batch_satisfies_granular(
+    matrices: np.ndarray,
+    guaranteed: np.ndarray,
+    correct: Optional[Iterable[int]] = None,
+) -> np.ndarray:
+    """Vectorized :func:`satisfies_granular` over a ``(rounds, n, n)`` stack."""
+    n = matrices.shape[1]
+    idx = _correct_indices(n, correct)
+    mask = guaranteed[np.ix_(idx, idx)]
+    sub = matrices[:, idx][:, :, idx]
+    return sub[:, mask].all(axis=1)
+
+
+def satisfies_gs(matrix: np.ndarray, correct: Optional[Iterable[int]] = None) -> bool:
+    """GS with the canonical hub-based assumption matrix for this ``n``."""
+    return satisfies_granular(matrix, _canonical_guaranteed(matrix.shape[0]), correct)
+
+
+def batch_satisfies_gs(
+    matrices: np.ndarray, correct: Optional[Iterable[int]] = None
+) -> np.ndarray:
+    """Vectorized :func:`satisfies_gs` over a ``(rounds, n, n)`` stack."""
+    return batch_satisfies_granular(
+        matrices, _canonical_guaranteed(matrices.shape[1]), correct
+    )

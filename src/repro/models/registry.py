@@ -29,12 +29,15 @@ from typing import Callable, Iterable, Optional
 import numpy as np
 
 from repro.models.properties import (
+    GS_HUB,
     batch_satisfies_afm,
     batch_satisfies_es,
+    batch_satisfies_gs,
     batch_satisfies_lm,
     batch_satisfies_wlm,
     satisfies_afm,
     satisfies_es,
+    satisfies_gs,
     satisfies_lm,
     satisfies_wlm,
 )
@@ -52,6 +55,11 @@ class TimingModel:
         needs_leader: whether the predicate takes a leader argument.
         stable_message_complexity: ``"linear"`` or ``"quadratic"`` — the
             per-round stable-state message complexity of the algorithm.
+        hub: for granular models, the statically designated process whose
+            outgoing links are sync.  The hub plays the leader role in the
+            model's algorithm without requiring an Omega oracle, so
+            selection machinery should aim the leader at it.  ``None`` for
+            the paper's uniform models.
     """
 
     name: str
@@ -61,6 +69,7 @@ class TimingModel:
     stable_message_complexity: str
     _predicate: Callable[..., bool]
     _batch_predicate: Optional[Callable[..., np.ndarray]] = None
+    hub: Optional[int] = None
 
     def satisfied(
         self,
@@ -149,6 +158,23 @@ MODELS: dict[str, TimingModel] = {
         _predicate=satisfies_afm,
         _batch_predicate=batch_satisfies_afm,
     ),
+    # Granular Synchrony (arxiv 2408.12853) with the canonical hub-based
+    # assumption matrix: the hub's outgoing links are sync and every
+    # process has psync incoming links from its n//2 ring predecessors.
+    # A satisfying round is an eventual-LM round with the statically
+    # known hub as leader, so the 3-round LM algorithm [19] decides in
+    # 3 consecutive satisfying rounds — no Omega wait, the assumption
+    # matrix is the leader certificate.
+    "GS": TimingModel(
+        name="GS",
+        display_name="granular",
+        decision_rounds=3,
+        needs_leader=False,
+        stable_message_complexity="quadratic",
+        _predicate=satisfies_gs,
+        _batch_predicate=batch_satisfies_gs,
+        hub=GS_HUB,
+    ),
 }
 
 #: Number of rounds Algorithm 2 needs when the leader is NOT stable a round
@@ -165,5 +191,6 @@ def get_model(name: str) -> TimingModel:
 
 
 def model_names() -> list[str]:
-    """All registry keys, in the paper's presentation order."""
-    return ["ES", "LM", "WLM", "WLM_SIM", "AFM"]
+    """All registry keys: the paper's models in presentation order, then
+    the post-paper extensions."""
+    return ["ES", "LM", "WLM", "WLM_SIM", "AFM", "GS"]

@@ -125,6 +125,20 @@ def repair_to_satisfy(
             _repair_row_to_majority(repaired, row, maj, rng, live)
         return repaired
 
+    if model.name == "GS":
+        # The predicate demands every *guaranteed* link between correct
+        # processes be timely — the minimal repair is exactly that set,
+        # no randomness involved.
+        from repro.models.properties import (
+            canonical_granular_assumptions,
+            granular_guaranteed,
+        )
+
+        guaranteed = granular_guaranteed(canonical_granular_assumptions(n))
+        block = np.ix_(live, live)
+        repaired[block] |= guaranteed[block]
+        return repaired
+
     if model.name == "AFM":
         # Turning entries on never breaks a row/column that is already
         # satisfied, so one pass over rows then columns suffices.

@@ -16,6 +16,8 @@ provides the simulated stand-ins (see DESIGN.md, "Substitutions"):
   Poland node (Section 5.3).
 - :mod:`ping` — latency-table measurement and well-connected-leader
   selection (how the paper "elects" its designated leader).
+- :mod:`granular` — Granular Synchrony wrapper: a per-link
+  sync/psync/async assumption matrix enforced on top of any profile.
 """
 
 from repro.net.base import LatencyModel, MatrixSampler
@@ -28,6 +30,7 @@ from repro.net.latency import (
     LossyLatency,
     WindowedSlowdown,
 )
+from repro.net.granular import GranularProfile
 from repro.net.lan import LanProfile, lan_profile
 from repro.net.planetlab import PlanetLabProfile, planetlab_profile, PLANETLAB_SITES
 from repro.net.ping import measure_latency_table, select_leader
@@ -42,6 +45,7 @@ __all__ = [
     "TailedLatency",
     "ScaledLatency",
     "LossyLatency",
+    "GranularProfile",
     "LanProfile",
     "lan_profile",
     "PlanetLabProfile",

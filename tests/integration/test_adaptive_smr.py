@@ -14,6 +14,7 @@ from repro.adaptive import (
     FixedPolicy,
     ScenarioConfig,
     TimelinessExtractor,
+    granular_scenario_config,
     run_adaptive_scenario,
 )
 from repro.check.invariants import default_suite
@@ -72,6 +73,57 @@ class TestChurnScenario:
         assert {k: v.mean_latency for k, v in again.baselines.items()} == {
             k: v.mean_latency for k, v in comparison.baselines.items()
         }
+
+
+@pytest.fixture(scope="module")
+def granular_comparison():
+    return run_adaptive_scenario(granular_scenario_config())
+
+
+class TestGranularChurnScenario:
+    """The same churn workload on a Granular Synchrony network: per-link
+    sync/psync contracts make GS the cheapest holding model whenever the
+    contracts are honoured, so the adaptive policy should find it."""
+
+    def test_adaptive_selects_the_granular_model(self, granular_comparison):
+        selected = {s.model for s in granular_comparison.adaptive.timeline}
+        assert "GS" in selected
+
+    def test_gs_cells_aim_omega_at_the_hub(self, granular_comparison):
+        gs_switches = [
+            s for s in granular_comparison.adaptive.timeline if s.model == "GS"
+        ]
+        assert gs_switches
+        assert all(s.leader == 0 for s in gs_switches)
+
+    def test_no_invariant_violations_anywhere(self, granular_comparison):
+        assert granular_comparison.total_violations == 0
+
+    def test_every_policy_decided_the_full_workload(self, granular_comparison):
+        assert granular_comparison.adaptive.decided_all
+        assert granular_comparison.adaptive.consistent
+        for name, report in granular_comparison.baselines.items():
+            assert report.decided_all, name
+            assert report.consistent, name
+
+    def test_gs_baseline_rides_the_contract(self, granular_comparison):
+        # On the granular net GS@long-timeout must be at least as good as
+        # the churn-era worst; the clamped links keep it decisive.
+        gs = granular_comparison.baselines["GS@0.70"]
+        assert gs.decided_all
+
+    def test_churn_still_bites_the_short_timeouts(self, granular_comparison):
+        # Slow factors multiply the *clamped* latencies, so the psync
+        # contract is effectively violated pre-heal at 0.16s: the short
+        # fixed pairs must pay for the stall, contracts notwithstanding.
+        short = granular_comparison.baselines["GS@0.16"]
+        long = granular_comparison.baselines["GS@0.70"]
+        assert short.mean_latency > long.mean_latency
+
+    def test_deterministic_in_the_seed(self, granular_comparison):
+        again = run_adaptive_scenario(granular_scenario_config())
+        assert again.adaptive.latencies == granular_comparison.adaptive.latencies
+        assert again.adaptive.timeline == granular_comparison.adaptive.timeline
 
 
 class TestReplicaGroupHooks:

@@ -72,7 +72,7 @@ class TestDifferentialRun:
     def test_rows_cover_the_stated_observables(self, clean_result):
         quantities = [row.quantity for row in clean_result.rows]
         assert "measured p" in quantities
-        for model in ("ES", "AFM", "LM", "WLM"):
+        for model in ("ES", "AFM", "LM", "WLM", "GS"):
             assert f"P_{model}" in quantities
         assert "D_WLM rounds" in quantities
         assert "sync error / timeout" in quantities
@@ -119,7 +119,7 @@ class TestMonteCarloVsEquations:
         rows = montecarlo_vs_equations(
             p_grid=(0.9, 0.97), n=5, samples=1500, seed=3
         )
-        assert len(rows) == 8
+        assert len(rows) == 10  # 2 p-values x 5 models
         for row in rows:
             assert row.ok, (row.quantity, row.lockstep, row.event)
 

@@ -211,5 +211,11 @@ class TestClassification:
         extractor = make_extractor()
         extractor.observe_latencies(1, latency_matrix(0.05))
         for cell in extractor.estimates():
-            needs_leader = MODELS[cell.model].needs_leader
-            assert (cell.leader is not None) == needs_leader
+            model = MODELS[cell.model]
+            if model.hub is not None:
+                # Granular cells surface their static hub so the policy
+                # can aim Omega at it, even though the predicate itself
+                # takes no leader argument.
+                assert cell.leader == model.hub
+            else:
+                assert (cell.leader is not None) == model.needs_leader

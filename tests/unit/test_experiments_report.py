@@ -86,6 +86,17 @@ class TestRenderComparison:
         )
         assert "inf" in text
 
+    def test_negative_inf_matches_the_positive_style(self):
+        """Regression: ``value == float("inf")`` only catches the positive
+        infinity, so ``-inf`` fell through to the ``%10.3g`` branch and
+        rendered as a width-10 cell — misaligned with the 6-char ``inf``
+        sentinel and suggesting a finite magnitude."""
+        from repro.experiments.report import _format
+
+        assert _format(float("inf")) == "   inf"
+        assert _format(float("-inf")) == "  -inf"
+        assert len(_format(float("-inf"))) == len(_format(float("inf")))
+
 
 class TestSweepConfig:
     def test_paper_scale_matches_section_5(self):

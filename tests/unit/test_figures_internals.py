@@ -68,3 +68,44 @@ class TestAnalyticFigureGrids:
             assert result.series[model][0] == pytest.approx(
                 float(expected_decision_rounds(0.99, 8, model))
             )
+
+
+class TestPostPaperFigures:
+    def test_figure_1j_includes_gs_between_es_and_lm(self):
+        from repro.experiments.figures import figure_1j
+
+        result = figure_1j(p_grid=[0.96])
+        assert set(result.series) >= {"ES", "GS", "AFM", "LM", "WLM"}
+        es, gs, lm = (
+            result.series["ES"][0],
+            result.series["GS"][0],
+            result.series["LM"][0],
+        )
+        # 43 constrained links of 64: strictly easier than ES, strictly
+        # harder than a leader-based majority condition.
+        assert lm < gs < es
+
+    def test_figure_1j_matches_the_closed_form(self):
+        from repro.analysis import expected_decision_rounds
+        from repro.experiments.figures import figure_1j
+
+        result = figure_1j(p_grid=[0.97])
+        assert result.series["GS"][0] == pytest.approx(
+            float(expected_decision_rounds(0.97, 8, "GS"))
+        )
+
+    def test_figure_1k_structure_and_determinism(self):
+        from repro.experiments.figures import figure_1k
+
+        kwargs = dict(gsr_grid=(10, 14), models=("GS",), runs=6, seed=5)
+        result = figure_1k(**kwargs)
+        assert result.x == [10.0, 14.0]
+        assert set(result.series) == {"GS measured", "GS predicted"}
+        # Measured means never beat the GSR floor; predictions grow
+        # linearly in the GSR.
+        for gsr, measured in zip(result.x, result.series["GS measured"]):
+            assert measured >= gsr
+        predicted = result.series["GS predicted"]
+        assert predicted[1] - predicted[0] == pytest.approx(4.0)
+        again = figure_1k(**kwargs)
+        assert again.series == result.series

@@ -1,0 +1,149 @@
+"""Unit tests for the Granular Synchrony assumption matrix and predicates."""
+
+import numpy as np
+import pytest
+
+from repro.models.matrix import empty_matrix, full_matrix
+from repro.models.properties import (
+    GS_HUB,
+    LINK_ASYNC,
+    LINK_PSYNC,
+    LINK_SYNC,
+    batch_satisfies_granular,
+    batch_satisfies_gs,
+    canonical_granular_assumptions,
+    granular_guaranteed,
+    granular_link_count,
+    satisfies_granular,
+    satisfies_gs,
+    satisfies_lm,
+)
+from repro.models.registry import MODELS
+
+
+class TestCanonicalAssumptions:
+    def test_shape_and_codes(self):
+        assumptions = canonical_granular_assumptions(8)
+        assert assumptions.shape == (8, 8)
+        assert set(np.unique(assumptions)) <= {
+            LINK_ASYNC, LINK_PSYNC, LINK_SYNC,
+        }
+
+    def test_hub_column_and_diagonal_are_sync(self):
+        assumptions = canonical_granular_assumptions(8)
+        assert (assumptions[:, GS_HUB] == LINK_SYNC).all()
+        assert (np.diag(assumptions) == LINK_SYNC).all()
+
+    def test_ring_predecessors_are_at_least_psync(self):
+        n = 8
+        assumptions = canonical_granular_assumptions(n)
+        for dst in range(n):
+            for k in range(1, n // 2 + 1):
+                assert assumptions[dst, (dst - k) % n] >= LINK_PSYNC
+
+    def test_every_destination_has_a_guaranteed_majority(self):
+        # The structural reason a granular round is an LM round: counting
+        # the self-link, each process hears a majority over guaranteed
+        # links, and the hub is a guaranteed n-source.
+        n = 8
+        guaranteed = granular_guaranteed(canonical_granular_assumptions(n))
+        assert (guaranteed.sum(axis=1) > n // 2).all()
+        assert guaranteed[:, GS_HUB].all()
+
+    def test_link_count_matches_mask(self):
+        for n in (3, 5, 8, 11):
+            guaranteed = granular_guaranteed(canonical_granular_assumptions(n))
+            assert granular_link_count(n) == int(guaranteed.sum())
+
+    def test_known_counts(self):
+        assert granular_link_count(8) == 43
+        assert granular_link_count(5) == 17
+
+    def test_cached_matrix_is_immutable(self):
+        assumptions = canonical_granular_assumptions(6)
+        with pytest.raises(ValueError):
+            assumptions[0, 0] = LINK_ASYNC
+
+    def test_hub_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            canonical_granular_assumptions(5, hub=5)
+
+
+class TestPredicates:
+    def test_full_matrix_satisfies(self):
+        assert satisfies_gs(full_matrix(8))
+
+    def test_empty_matrix_fails(self):
+        assert not satisfies_gs(empty_matrix(8))
+
+    def test_guaranteed_only_matrix_satisfies(self):
+        n = 8
+        matrix = granular_guaranteed(canonical_granular_assumptions(n)).copy()
+        assert satisfies_gs(matrix)
+
+    def test_dropping_a_hub_link_breaks_gs(self):
+        n = 8
+        matrix = full_matrix(n)
+        matrix[3, GS_HUB] = False
+        assert not satisfies_gs(matrix)
+
+    def test_dropping_an_async_link_is_free(self):
+        n = 8
+        assumptions = canonical_granular_assumptions(n)
+        guaranteed = granular_guaranteed(assumptions)
+        free = np.argwhere(~guaranteed)
+        assert free.size, "canonical matrix should leave async slack"
+        matrix = full_matrix(n)
+        dst, src = free[0]
+        matrix[dst, src] = False
+        assert satisfies_gs(matrix)
+
+    def test_gs_implies_lm_with_hub_leader(self):
+        n = 8
+        rng = np.random.default_rng(7)
+        matrices = rng.random((300, n, n)) < 0.9
+        matrices |= granular_guaranteed(canonical_granular_assumptions(n))
+        for matrix in matrices:
+            if satisfies_gs(matrix):
+                assert satisfies_lm(matrix, leader=GS_HUB)
+
+    def test_scalar_batch_equivalence(self):
+        n = 8
+        rng = np.random.default_rng(3)
+        matrices = rng.random((200, n, n)) < 0.92
+        batch = batch_satisfies_gs(matrices)
+        scalar = np.array([satisfies_gs(m) for m in matrices])
+        assert (batch == scalar).all()
+        assert 0 < batch.mean() < 1  # the sample actually exercises both
+
+    def test_correct_set_restriction(self):
+        n = 8
+        guaranteed = granular_guaranteed(canonical_granular_assumptions(n))
+        matrix = guaranteed.copy()
+        matrix[5, :] = False  # node 5 hears nobody...
+        assert not satisfies_granular(matrix, guaranteed)
+        correct = [p for p in range(n) if p != 5]
+        # ...but among the correct processes the contract holds.
+        assert satisfies_granular(matrix, guaranteed, correct=correct)
+        batch = batch_satisfies_granular(
+            matrix[None, :, :], guaranteed, correct=correct
+        )
+        assert batch[0]
+
+
+class TestRegistryEntry:
+    def test_gs_registered(self):
+        model = MODELS["GS"]
+        assert model.decision_rounds == 3
+        assert model.hub == GS_HUB
+        assert not model.needs_leader
+        assert model.stable_message_complexity == "quadratic"
+
+    def test_registry_dispatch_matches_predicate(self):
+        n = 8
+        rng = np.random.default_rng(11)
+        matrices = rng.random((50, n, n)) < 0.9
+        model = MODELS["GS"]
+        batch = model.satisfied_batch(matrices)
+        for matrix, expected in zip(matrices, batch):
+            assert model.satisfied(matrix) == bool(expected)

@@ -7,13 +7,15 @@ from repro.models.registry import MODELS, get_model, model_names
 
 
 class TestRegistry:
-    def test_all_five_models_present(self):
-        assert set(model_names()) == {"ES", "LM", "WLM", "WLM_SIM", "AFM"}
+    def test_all_models_present(self):
+        assert set(model_names()) == {"ES", "LM", "WLM", "WLM_SIM", "AFM", "GS"}
 
     def test_decision_round_counts_match_paper(self):
         # Section 4: 3 for ES [14], 3 for LM [19], 4 for WLM (stable
         # leader, Section 3), 7 for simulated WLM (Appendix B), 5 for AFM.
-        expected = {"ES": 3, "LM": 3, "WLM": 4, "WLM_SIM": 7, "AFM": 5}
+        # GS (post-paper): its rounds are LM rounds with a static hub
+        # leader, so the 3-round LM algorithm applies.
+        expected = {"ES": 3, "LM": 3, "WLM": 4, "WLM_SIM": 7, "AFM": 5, "GS": 3}
         for name, rounds in expected.items():
             assert MODELS[name].decision_rounds == rounds
 
@@ -27,6 +29,9 @@ class TestRegistry:
         assert MODELS["LM"].needs_leader
         assert MODELS["WLM"].needs_leader
         assert MODELS["WLM_SIM"].needs_leader
+        # GS's leader is the statically designated hub, not a parameter.
+        assert not MODELS["GS"].needs_leader
+        assert MODELS["GS"].hub == 0
 
     def test_get_model_case_insensitive(self):
         assert get_model("wlm") is MODELS["WLM"]

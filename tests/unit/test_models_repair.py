@@ -8,7 +8,9 @@ from repro.models.registry import get_model
 from repro.models.repair import repair_to_satisfy
 
 
-@pytest.mark.parametrize("model_name", ["ES", "LM", "WLM", "WLM_SIM", "AFM"])
+@pytest.mark.parametrize(
+    "model_name", ["ES", "LM", "WLM", "WLM_SIM", "AFM", "GS"]
+)
 @pytest.mark.parametrize("p", [0.0, 0.3, 0.9])
 class TestRepair:
     def test_repaired_matrix_satisfies_model(self, model_name, p):
@@ -55,6 +57,29 @@ class TestRepairEdges:
         untouched[2, :] = False
         np.fill_diagonal(untouched, False)
         assert not untouched.any()
+
+    def test_gs_repair_is_exactly_the_guaranteed_links(self):
+        # GS's repair is deterministic: turn on the canonical matrix's
+        # guaranteed links, nothing else.
+        from repro.models.properties import (
+            canonical_granular_assumptions,
+            granular_guaranteed,
+        )
+
+        repaired = repair_to_satisfy(empty_matrix(8), "GS")
+        guaranteed = granular_guaranteed(canonical_granular_assumptions(8))
+        assert (repaired == guaranteed).all()
+
+    def test_gs_repair_respects_the_correct_set(self):
+        # Only links between correct processes are forced; a crashed
+        # node's row and column stay as sampled.
+        repaired = repair_to_satisfy(
+            empty_matrix(8), "GS", correct=range(1, 8)
+        )
+        off_diagonal = ~np.eye(8, dtype=bool)
+        assert not repaired[0, :][off_diagonal[0]].any()
+        assert not repaired[:, 0][off_diagonal[:, 0]].any()
+        assert get_model("GS").satisfied(repaired, correct=range(1, 8))
 
     def test_already_satisfying_matrix_unchanged_for_wlm(self):
         m = empty_matrix(5)

@@ -90,6 +90,28 @@ class TestMain:
         assert "live extraction over the event stack" in table
         assert "executed mode: batch" in table
 
+    def test_new_models_flag_writes_both_figures(self, tmp_path, monkeypatch):
+        """``--new-models`` appends the post-paper scenario phase."""
+        import repro.experiments.run_all as run_all_module
+        from repro.experiments.config import SweepConfig
+
+        tiny = SweepConfig(
+            rounds_per_run=40, runs=1, start_points=2,
+            timeouts=(0.21,), seed=1,
+        )
+        monkeypatch.setattr(run_all_module, "QUICK", tiny)
+        monkeypatch.setattr(run_all_module, "QUICK_LAN", tiny)
+
+        exit_code = main(["--out", str(tmp_path), "--new-models"])
+        assert exit_code == 0
+        fig1j = (tmp_path / "fig1j.txt").read_text()
+        assert "Figure 1j" in fig1j
+        assert "GS" in fig1j
+        fig1k = (tmp_path / "fig1k.txt").read_text()
+        assert "Figure 1k" in fig1k
+        assert "GS measured" in fig1k and "GS predicted" in fig1k
+        assert "WLM measured" in fig1k
+
     def test_without_faults_flag_no_robustness_table(
         self, tmp_path, monkeypatch
     ):
@@ -106,6 +128,8 @@ class TestMain:
         assert main(["--out", str(tmp_path)]) == 0
         assert not (tmp_path / "faults.txt").exists()
         assert not (tmp_path / "adaptive.txt").exists()
+        assert not (tmp_path / "fig1j.txt").exists()
+        assert not (tmp_path / "fig1k.txt").exists()
 
     def test_bad_scale_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
